@@ -1,0 +1,40 @@
+//! Microbenchmarks of the cryptographic substrate: the operations the
+//! paper's Figure 3a profiles (ecdsa_verify ~40%, sha256 ~10%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric_crypto::bigint::U256;
+use fabric_crypto::curve::{AffinePoint, JacobianPoint};
+use fabric_crypto::ecdsa::SigningKey;
+use fabric_crypto::sha256::sha256;
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+
+    let key = SigningKey::from_seed(b"bench");
+    let msg = vec![0xabu8; 3_400]; // smallbank envelope size
+    let sig = key.sign(&msg);
+
+    group.bench_function("ecdsa_sign", |b| b.iter(|| key.sign(black_box(&msg))));
+    group.bench_function("ecdsa_verify", |b| {
+        b.iter(|| key.verifying_key().verify(black_box(&msg), black_box(&sig)))
+    });
+    group.bench_function("sha256_64B", |b| b.iter(|| sha256(black_box(&msg[..64]))));
+    group.bench_function("sha256_3400B", |b| b.iter(|| sha256(black_box(&msg))));
+
+    let k = U256::from_hex("deadbeefcafebabe1122334455667788aabbccddeeff00112233445566778899")
+        .unwrap();
+    group.bench_function("p256_scalar_mul", |b| {
+        b.iter(|| AffinePoint::generator().mul_scalar(black_box(&k)))
+    });
+    let g = AffinePoint::generator().to_jacobian();
+    let q = g.mul_scalar(&U256::from_u64(7777));
+    group.bench_function("p256_shamir_dual_mul", |b| {
+        b.iter(|| JacobianPoint::shamir(black_box(&k), &g, black_box(&k), &q))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

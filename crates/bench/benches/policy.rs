@@ -1,0 +1,47 @@
+//! Microbenchmarks of endorsement-policy parsing and evaluation —
+//! sequential (Fabric software) vs combinational circuit (BMac).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric_crypto::identity::{NodeId, Role};
+use fabric_policy::circuit::RegisterFile;
+use fabric_policy::{parse, Policy, PolicyCircuit};
+use std::hint::black_box;
+
+const COMPLEX: &str =
+    "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)";
+
+fn bench_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+
+    group.bench_function("parse_complex", |b| b.iter(|| parse(black_box(COMPLEX)).unwrap()));
+
+    let policy = parse(COMPLEX).unwrap();
+    group.bench_function("compile_circuit", |b| {
+        b.iter(|| PolicyCircuit::compile(black_box(&policy)))
+    });
+
+    let circuit = PolicyCircuit::compile(&policy);
+    let mut regs = RegisterFile::new(4);
+    regs.set(NodeId::new(0, Role::Peer, 0).unwrap());
+    regs.set(NodeId::new(1, Role::Peer, 0).unwrap());
+    group.bench_function("circuit_evaluate", |b| {
+        b.iter(|| black_box(&circuit).evaluate(black_box(&regs)))
+    });
+
+    let endorsers = vec![
+        NodeId::new(0, Role::Peer, 0).unwrap(),
+        NodeId::new(1, Role::Peer, 0).unwrap(),
+    ];
+    group.bench_function("sequential_evaluate", |b| {
+        b.iter(|| black_box(&policy).evaluate_sequential(black_box(&endorsers)))
+    });
+
+    let kofn = Policy::k_out_of_n_orgs(3, 5);
+    group.bench_function("compile_3of5_expansion", |b| {
+        b.iter(|| PolicyCircuit::compile(black_box(&kofn)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the BMac protocol sender and receiver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use bmac_protocol::{BmacReceiver, BmacSender};
+use fabric_node::chaincode::KvChaincode;
+use fabric_node::network::FabricNetworkBuilder;
+use fabric_policy::parse;
+use std::hint::black_box;
+
+fn one_block(ntx: usize) -> fabric_protos::messages::Block {
+    let mut net = FabricNetworkBuilder::new()
+        .orgs(2)
+        .block_size(ntx)
+        .chaincode("kv", parse("2-outof-2 orgs").unwrap())
+        .build();
+    net.install_chaincode(|| Box::new(KvChaincode::new("kv")));
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while blocks.is_empty() {
+        blocks = net
+            .submit_invocation(0, "kv", "put", &[format!("k{i}"), "1".into()])
+            .unwrap();
+        i += 1;
+    }
+    blocks.remove(0)
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(20);
+
+    let block = one_block(10);
+    group.bench_function("sender_section_block_10tx", |b| {
+        b.iter(|| {
+            let mut sender = BmacSender::new();
+            sender.send_block(black_box(&block)).unwrap()
+        })
+    });
+
+    // Pre-encode packets for the receive path.
+    let mut sender = BmacSender::new();
+    let wires: Vec<Vec<u8>> = sender
+        .send_block(&block)
+        .unwrap()
+        .iter()
+        .map(|p| p.encode().unwrap())
+        .collect();
+    group.bench_function("receiver_reassemble_block_10tx", |b| {
+        b.iter(|| {
+            let mut receiver = BmacReceiver::new();
+            let mut blocks = 0;
+            for w in &wires {
+                blocks += receiver.ingest(black_box(w)).unwrap().len();
+            }
+            assert_eq!(blocks, 1);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks of marshaling/unmarshaling — the cost the BMac
+//! protocol processor removes from the critical path (paper §3.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric_crypto::identity::{Msp, Role};
+use fabric_protos::txflow::{
+    build_block, build_transaction, decode_block, decode_transaction, TxParams,
+};
+use std::hint::black_box;
+
+fn bench_protos(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protos");
+    group.sample_size(20);
+
+    let mut msp = Msp::new(2);
+    let client = msp.issue(0, Role::Client, 0).unwrap();
+    let e1 = msp.issue(0, Role::Peer, 0).unwrap();
+    let e2 = msp.issue(1, Role::Peer, 0).unwrap();
+    let orderer = msp.issue(0, Role::Orderer, 0).unwrap();
+    let params = TxParams {
+        channel_id: "mychannel",
+        chaincode: "smallbank",
+        reads: vec![("acc1".into(), None), ("acc2".into(), None)],
+        writes: vec![("acc1".into(), b"10".to_vec()), ("acc2".into(), b"20".to_vec())],
+        nonce: vec![7u8; 24],
+        timestamp: 1_700_000_000,
+    };
+
+    group.bench_function("build_transaction_2ends", |b| {
+        b.iter(|| build_transaction(&client, &[&e1, &e2], black_box(&params)))
+    });
+
+    let built = build_transaction(&client, &[&e1, &e2], &params);
+    group.bench_function("decode_transaction", |b| {
+        b.iter(|| decode_transaction(black_box(&built.envelope)).unwrap())
+    });
+
+    let envs: Vec<Vec<u8>> = (0..10)
+        .map(|i| {
+            let mut p = params.clone();
+            p.nonce = vec![i as u8; 24];
+            build_transaction(&client, &[&e1, &e2], &p).envelope
+        })
+        .collect();
+    let block = build_block(0, &[0u8; 32], envs, &orderer);
+    let block_bytes = block.marshal();
+    group.bench_function("marshal_block_10tx", |b| b.iter(|| black_box(&block).marshal()));
+    group.bench_function("decode_block_10tx", |b| {
+        b.iter(|| decode_block(black_box(&block_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protos);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks of the state database: reads, writes, MVCC checks —
+//! the operations of validation steps 3-4 (paper §2.1.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fabric_statedb::{BoundedStateDb, Height, StateDb, WriteBatch};
+use std::hint::black_box;
+
+fn bench_statedb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statedb");
+
+    let db = StateDb::new();
+    let mut batch = WriteBatch::new();
+    for i in 0..1000 {
+        batch.put(format!("key{i}"), vec![i as u8; 16]);
+    }
+    db.apply(&batch, Height::new(1, 0));
+
+    group.bench_function("get_hit", |b| b.iter(|| db.get(black_box("key500"))));
+    group.bench_function("get_miss", |b| b.iter(|| db.get(black_box("nope"))));
+
+    group.bench_function("apply_100_writes", |b| {
+        b.iter(|| {
+            let mut w = WriteBatch::new();
+            for i in 0..100 {
+                w.put(format!("k{i}"), vec![1]);
+            }
+            db.apply(black_box(&w), Height::new(2, 0));
+        })
+    });
+
+    let reads: Vec<(String, Option<Height>)> = (0..100)
+        .map(|i| (format!("key{i}"), Some(Height::new(1, 0))))
+        .collect();
+    group.bench_function("mvcc_validate_100_reads", |b| {
+        b.iter(|| db.mvcc_validate(black_box(&reads)))
+    });
+
+    group.bench_function("bounded_put_get", |b| {
+        let mut hw = BoundedStateDb::new(8192);
+        let mut i = 0u64;
+        b.iter(|| {
+            let key = format!("k{}", i % 4096);
+            hw.put(&key, vec![1], Height::new(1, i)).unwrap();
+            let _ = hw.get(&key).unwrap();
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statedb);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1: FPGA resource utilization of BMac architectures.
+
+use bmac_bench::{heading, report_checks, table, ShapeCheck};
+use bmac_hw::resources::{max_validators_within, utilization, Geometry, PAPER_TABLE1};
+
+fn main() {
+    heading("Table 1: hardware utilization of BMac architectures (Alveo U250)");
+    let mut rows = Vec::new();
+    for (g, _, _, _) in PAPER_TABLE1 {
+        let u = utilization(g);
+        rows.push(vec![
+            g.to_string(),
+            format!("{:.1}%", u.lut_pct),
+            format!("{:.1}%", u.ff_pct),
+            format!("{:.1}%", u.bram_pct),
+            format!("{:.1}%", u.gt_pct),
+            format!("{:.1}%", u.pcie_pct),
+        ]);
+    }
+    table(&["arch", "LUT/LUTRAM", "FF", "BRAM/URAM", "GT", "PCIe"], &rows);
+
+    heading("extrapolation beyond the paper (same model)");
+    let mut rows = Vec::new();
+    for v in [24usize, 32, 50] {
+        let u = utilization(Geometry::new(v, 2));
+        rows.push(vec![format!("{v}x2"), format!("{:.1}%", u.lut_pct), format!("{:.1}%", u.ff_pct)]);
+    }
+    table(&["arch", "LUT", "FF"], &rows);
+    println!(
+        "\nmax tx_validators within 90% LUT budget (E=2): {}",
+        max_validators_within(90.0, 2)
+    );
+
+    let mut checks = Vec::new();
+    for (g, lut, ff, _) in PAPER_TABLE1 {
+        let u = utilization(g);
+        checks.push(ShapeCheck::new(format!("{g} LUT%"), lut, u.lut_pct, 0.05));
+        checks.push(ShapeCheck::new(format!("{g} FF%"), ff, u.ff_pct, 0.08));
+    }
+    let failed = report_checks(&checks);
+    std::process::exit(failed as i32);
+}

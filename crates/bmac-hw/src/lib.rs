@@ -1,0 +1,32 @@
+//! Discrete-event simulator of the Blockchain Machine FPGA accelerator.
+//!
+//! The paper's hardware (Xilinx Alveo U250 + OpenNIC) is reproduced as a
+//! simulation that executes the *real functional logic* — actual ECDSA
+//! verification with extracted keys, compiled policy circuits with
+//! short-circuit evaluation, MVCC against the bounded in-hardware store —
+//! under modeled latencies (250 MHz clock, 360 µs ecdsa_engine, 11 Gbps
+//! protocol_processor). This follows the paper's own methodology: its
+//! evaluation beyond 16 tx_validators came from "a high-level simulator
+//! ... always within 1% of actual measurements" (§4.1).
+//!
+//! * [`timing`] — the latency constants;
+//! * [`resources`] — the Table-1 FPGA utilization model;
+//! * [`throughput`] — the closed-form steady-state model for sweeps;
+//! * [`processor`] — the detailed functional+timed block_processor;
+//! * [`machine`] — the full card: protocol_processor + processor +
+//!   reg_map, with `GetBlockData()` semantics.
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod processor;
+pub mod resources;
+pub mod throughput;
+pub mod tiered_db;
+pub mod timing;
+
+pub use machine::{BMacMachine, MachineError};
+pub use processor::{BlockProcessor, HwBlockResult, HwBlockStats, ProcessorConfig};
+pub use resources::{utilization, Geometry, Utilization};
+pub use throughput::{validate_block, HwBreakdown, HwModelConfig, HwWorkload};
+pub use tiered_db::{TieredStateDb, TieredStats};

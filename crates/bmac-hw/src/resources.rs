@@ -1,0 +1,158 @@
+//! FPGA resource-utilization model (Table 1 of the paper).
+//!
+//! Calibrated against the five architectures the paper reports for the
+//! Xilinx Alveo U250 (LUT 20.9–43.3%, FF 6.9–10.3%, BRAM 13.1% flat):
+//! utilization is an affine function of the number of tx_validators and
+//! the total ecdsa_engine count, on top of a fixed base (OpenNIC shell,
+//! protocol_processor, in-hardware database). The model reproduces the
+//! paper's table within a few tenths of a percent and extrapolates to
+//! larger architectures (the §4.3 "choose larger FPGAs" projection).
+
+/// A BMac architecture geometry: `V` tx_validators, each with `E`
+/// ecdsa_engines in its tx_vscc stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    /// Parallel tx_validator instances (tx_verify + tx_vscc pairs).
+    pub tx_validators: usize,
+    /// ecdsa_engine instances per tx_vscc stage.
+    pub engines_per_vscc: usize,
+}
+
+impl Geometry {
+    /// Creates a geometry, e.g. `Geometry::new(8, 2)` for the paper's
+    /// "8x2".
+    pub fn new(tx_validators: usize, engines_per_vscc: usize) -> Self {
+        Geometry { tx_validators, engines_per_vscc }
+    }
+
+    /// Total ecdsa_engine instances: one per tx_verify, `E` per tx_vscc,
+    /// plus the dedicated block_verify engine.
+    pub fn total_engines(&self) -> usize {
+        self.tx_validators * (1 + self.engines_per_vscc) + 1
+    }
+}
+
+impl std::fmt::Display for Geometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.tx_validators, self.engines_per_vscc)
+    }
+}
+
+/// Resource utilization as percentages of the Alveo U250.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Utilization {
+    /// LUT / LUTRAM share.
+    pub lut_pct: f64,
+    /// Flip-flop share.
+    pub ff_pct: f64,
+    /// BRAM / URAM share (dominated by the 8192-entry database and the
+    /// FIFOs — independent of validator count).
+    pub bram_pct: f64,
+    /// Gigabit transceivers (network interface, constant).
+    pub gt_pct: f64,
+    /// Global clock buffers (constant).
+    pub bufg_pct: f64,
+    /// Mixed-mode clock managers (constant).
+    pub mmcm_pct: f64,
+    /// PCIe hard blocks (constant).
+    pub pcie_pct: f64,
+}
+
+/// Model coefficients (percent of U250 resources).
+const LUT_BASE: f64 = 12.78;
+const LUT_PER_VALIDATOR: f64 = 0.34;
+const LUT_PER_ENGINE: f64 = 0.52;
+const FF_BASE: f64 = 5.62;
+const FF_PER_VALIDATOR: f64 = 0.02;
+const FF_PER_ENGINE: f64 = 0.09;
+const BRAM_PCT: f64 = 13.1;
+
+/// Estimates utilization for a geometry (Table 1 model).
+pub fn utilization(geometry: Geometry) -> Utilization {
+    let v = geometry.tx_validators as f64;
+    let e = geometry.total_engines() as f64;
+    Utilization {
+        lut_pct: LUT_BASE + LUT_PER_VALIDATOR * v + LUT_PER_ENGINE * e,
+        ff_pct: FF_BASE + FF_PER_VALIDATOR * v + FF_PER_ENGINE * e,
+        bram_pct: BRAM_PCT,
+        gt_pct: 83.3,
+        bufg_pct: 2.2,
+        mmcm_pct: 6.3,
+        pcie_pct: 25.0,
+    }
+}
+
+/// The largest geometry that fits the U250 at a given LUT budget
+/// (defaults to 90% to leave routing headroom), holding `engines_per_vscc`
+/// fixed — the paper's "extra FPGA resources available can be used to
+/// ... add more ecdsa_engine instances" observation.
+pub fn max_validators_within(lut_budget_pct: f64, engines_per_vscc: usize) -> usize {
+    let mut v = 1;
+    while utilization(Geometry::new(v + 1, engines_per_vscc)).lut_pct <= lut_budget_pct {
+        v += 1;
+    }
+    v
+}
+
+/// The paper's Table 1 reference points (architecture, LUT%, FF%, BRAM%).
+pub const PAPER_TABLE1: [(Geometry, f64, f64, f64); 5] = [
+    (Geometry { tx_validators: 4, engines_per_vscc: 2 }, 20.9, 6.9, 13.1),
+    (Geometry { tx_validators: 5, engines_per_vscc: 3 }, 25.4, 7.3, 13.1),
+    (Geometry { tx_validators: 8, engines_per_vscc: 2 }, 28.5, 8.0, 13.1),
+    (Geometry { tx_validators: 12, engines_per_vscc: 2 }, 35.8, 9.1, 13.1),
+    (Geometry { tx_validators: 16, engines_per_vscc: 2 }, 43.3, 10.3, 13.1),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_counts() {
+        assert_eq!(Geometry::new(4, 2).total_engines(), 13);
+        assert_eq!(Geometry::new(5, 3).total_engines(), 21);
+        assert_eq!(Geometry::new(16, 2).total_engines(), 49);
+    }
+
+    #[test]
+    fn model_matches_paper_table1_within_tolerance() {
+        for (g, lut, ff, bram) in PAPER_TABLE1 {
+            let u = utilization(g);
+            assert!(
+                (u.lut_pct - lut).abs() < 0.8,
+                "{g}: LUT model {:.1} vs paper {lut}",
+                u.lut_pct
+            );
+            assert!(
+                (u.ff_pct - ff).abs() < 0.6,
+                "{g}: FF model {:.1} vs paper {ff}",
+                u.ff_pct
+            );
+            assert_eq!(u.bram_pct, bram, "{g}: BRAM");
+        }
+    }
+
+    #[test]
+    fn largest_architecture_fits_under_half() {
+        // "Even the largest BMac architecture 16x2 uses less than half of
+        // the FPGA resources."
+        let u = utilization(Geometry::new(16, 2));
+        assert!(u.lut_pct < 50.0);
+        assert!(u.ff_pct < 50.0);
+        assert!(u.bram_pct < 50.0);
+    }
+
+    #[test]
+    fn headroom_supports_the_projection() {
+        // The §4.3 projection needs ~50 validators; a larger budget than
+        // the U250's 90% would be required, but well over 16 must fit.
+        let max = max_validators_within(90.0, 2);
+        assert!(max > 16, "U250 head-room allows {max} validators");
+    }
+
+    #[test]
+    fn display_matches_paper_naming() {
+        assert_eq!(Geometry::new(8, 2).to_string(), "8x2");
+        assert_eq!(Geometry::new(5, 3).to_string(), "5x3");
+    }
+}

@@ -1,0 +1,253 @@
+//! Tiered state database: in-hardware cache + host-resident store
+//! (paper §5 extension).
+//!
+//! "One option is to use in-hardware database for small amount of
+//! actively accessed data, while keeping a persistent database on the
+//! host CPU. ... increased database access latencies over PCIe in
+//! tx_mvcc_commit stage (when a larger database is kept on the host)
+//! could still be hidden by ecdsa_engine latency from tx_vscc stage."
+//!
+//! [`TieredStateDb`] implements exactly that: a bounded BRAM-class cache
+//! in front of an unbounded host [`StateDb`], with LRU eviction and a
+//! PCIe round-trip charge on misses. The latency accounting feeds the
+//! `tx_mvcc_commit` stage so the hiding claim is testable (see
+//! `hiding_claim_holds` below and the ablations harness).
+
+use std::collections::VecDeque;
+
+use fabric_sim::{SimTime, MICROS};
+use fabric_statedb::{BoundedStateDb, Height, StateDb, VersionedValue, WriteBatch};
+
+use crate::timing::HW_DB_ACCESS;
+
+/// One PCIe round trip from the card to host memory (~1 µs class for a
+/// small DMA read on a Gen3 x16 link).
+pub const PCIE_ROUND_TRIP: SimTime = MICROS;
+
+/// Access statistics of the tiered store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TieredStats {
+    /// Reads served from the in-hardware cache.
+    pub cache_hits: u64,
+    /// Reads that went to the host over PCIe.
+    pub cache_misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Total simulated time spent in database accesses.
+    pub access_time: SimTime,
+}
+
+impl TieredStats {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// The tiered database.
+#[derive(Debug)]
+pub struct TieredStateDb {
+    cache: BoundedStateDb,
+    /// LRU order of cached keys (front = coldest).
+    lru: VecDeque<String>,
+    host: StateDb,
+    stats: TieredStats,
+}
+
+impl TieredStateDb {
+    /// Creates a tiered store with an in-hardware cache of
+    /// `cache_capacity` entries over the given host database.
+    pub fn new(cache_capacity: usize, host: StateDb) -> Self {
+        TieredStateDb {
+            cache: BoundedStateDb::new(cache_capacity),
+            lru: VecDeque::new(),
+            host,
+            stats: TieredStats::default(),
+        }
+    }
+
+    /// Reads a value, returning it with the simulated access latency.
+    pub fn get(&mut self, key: &str) -> (Option<VersionedValue>, SimTime) {
+        if let Ok(Some(v)) = self.cache.get(key) {
+            self.stats.cache_hits += 1;
+            self.stats.access_time += HW_DB_ACCESS;
+            self.touch(key);
+            return (Some(v), HW_DB_ACCESS);
+        }
+        // Miss: fetch from host over PCIe and install in the cache.
+        self.stats.cache_misses += 1;
+        let latency = HW_DB_ACCESS + PCIE_ROUND_TRIP;
+        self.stats.access_time += latency;
+        let value = self.host.get(key);
+        if let Some(v) = &value {
+            self.install(key, v.clone());
+        }
+        (value, latency)
+    }
+
+    /// Reads just the version.
+    pub fn get_version(&mut self, key: &str) -> (Option<Height>, SimTime) {
+        let (v, lat) = self.get(key);
+        (v.map(|v| v.version), lat)
+    }
+
+    /// Writes a value (write-through: cache + host), returning latency.
+    pub fn put(&mut self, key: &str, value: Vec<u8>, version: Height) -> SimTime {
+        let mut batch = WriteBatch::new();
+        batch.put(key.to_string(), value.clone());
+        self.host.apply(&batch, version);
+        self.install(key, VersionedValue { value, version });
+        // Write-through posts to PCIe asynchronously; the stage only pays
+        // the BRAM write.
+        self.stats.access_time += HW_DB_ACCESS;
+        HW_DB_ACCESS
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> TieredStats {
+        self.stats
+    }
+
+    /// Number of entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The host-side database handle.
+    pub fn host(&self) -> StateDb {
+        self.host.clone()
+    }
+
+    fn install(&mut self, key: &str, value: VersionedValue) {
+        loop {
+            match self.cache.put(key, value.value.clone(), value.version) {
+                Ok(()) => break,
+                Err(_) => {
+                    // Evict the coldest entry and retry.
+                    let Some(cold) = self.lru.pop_front() else {
+                        return; // cache capacity zero: host-only mode
+                    };
+                    self.evict(&cold);
+                }
+            }
+        }
+        self.touch(key);
+    }
+
+    fn evict(&mut self, key: &str) {
+        // BoundedStateDb has no remove; rebuild without the key. The
+        // simulated hardware frees the slot; host remains authoritative.
+        let mut fresh = BoundedStateDb::new(self.cache.capacity());
+        // Collect survivors from the LRU list (they are exactly the live
+        // cache keys).
+        for k in self.lru.iter() {
+            if k != key {
+                if let Ok(Some(v)) = self.cache.get(k) {
+                    let _ = fresh.put(k, v.value, v.version);
+                }
+            }
+        }
+        self.cache = fresh;
+        self.lru.retain(|k| k != key);
+        self.stats.evictions += 1;
+    }
+
+    fn touch(&mut self, key: &str) {
+        self.lru.retain(|k| k != key);
+        self.lru.push_back(key.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::ECDSA_ENGINE_LATENCY;
+
+    fn seeded_host(keys: usize) -> StateDb {
+        let host = StateDb::new();
+        let mut batch = WriteBatch::new();
+        for i in 0..keys {
+            batch.put(format!("k{i}"), vec![i as u8]);
+        }
+        host.apply(&batch, Height::new(1, 0));
+        host
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut db = TieredStateDb::new(4, seeded_host(10));
+        let (v, lat_miss) = db.get("k1");
+        assert!(v.is_some());
+        assert!(lat_miss >= PCIE_ROUND_TRIP);
+        let (_, lat_hit) = db.get("k1");
+        assert!(lat_hit < PCIE_ROUND_TRIP);
+        assert_eq!(db.stats().cache_hits, 1);
+        assert_eq!(db.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_hot_keys() {
+        let mut db = TieredStateDb::new(2, seeded_host(10));
+        db.get("k0");
+        db.get("k1");
+        db.get("k0"); // k0 hot
+        db.get("k2"); // evicts k1 (coldest)
+        assert_eq!(db.stats().evictions, 1);
+        let hits_before = db.stats().cache_hits;
+        db.get("k0");
+        assert_eq!(db.stats().cache_hits, hits_before + 1, "k0 stayed cached");
+        let misses_before = db.stats().cache_misses;
+        db.get("k1");
+        assert_eq!(db.stats().cache_misses, misses_before + 1, "k1 was evicted");
+    }
+
+    #[test]
+    fn writes_are_write_through() {
+        let mut db = TieredStateDb::new(4, seeded_host(2));
+        db.put("new", vec![9], Height::new(2, 0));
+        // Host sees it immediately.
+        assert_eq!(db.host().get("new").unwrap().value, vec![9]);
+        // And it is cached.
+        let (_, lat) = db.get("new");
+        assert!(lat < PCIE_ROUND_TRIP);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_still_correct() {
+        let mut db = TieredStateDb::new(3, seeded_host(20));
+        for round in 0..3 {
+            for i in 0..20 {
+                let (v, _) = db.get(&format!("k{i}"));
+                assert_eq!(v.unwrap().value, vec![i as u8], "round {round} key {i}");
+            }
+        }
+        assert!(db.stats().evictions > 0);
+        assert!(db.cached_entries() <= 3);
+    }
+
+    #[test]
+    fn hiding_claim_holds() {
+        // §5: PCIe misses in tx_mvcc_commit stay hidden behind the
+        // tx_vscc engine latency. Worst case: every access misses.
+        let rw_per_tx = 4u64;
+        let worst_case_db_time = rw_per_tx * (HW_DB_ACCESS + PCIE_ROUND_TRIP);
+        assert!(
+            worst_case_db_time * 10 < ECDSA_ENGINE_LATENCY,
+            "PCIe-tier misses ({worst_case_db_time} ns) must stay far below one engine pass"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_degrades_to_host_only() {
+        let mut db = TieredStateDb::new(0, seeded_host(3));
+        let (v, lat) = db.get("k0");
+        assert!(v.is_some());
+        assert!(lat >= PCIE_ROUND_TRIP);
+        let (_, lat2) = db.get("k0");
+        assert!(lat2 >= PCIE_ROUND_TRIP, "nothing can be cached");
+    }
+}

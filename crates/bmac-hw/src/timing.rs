@@ -1,0 +1,75 @@
+//! Hardware timing constants for the Blockchain Machine simulator.
+//!
+//! All values are taken from the paper: 250 MHz target clock (§4.1),
+//! ~360 µs per ECDSA verification ("an ecdsa_engine takes much longer
+//! (∼360us per verification \[28\]) than the rest of the operations (tens
+//! of us)", §4.3), and an 11 Gbps protocol_processor line rate
+//! (Figure 9a's table). The non-crypto module latencies are in the
+//! "tens of µs" band the paper describes; their exact values are
+//! invisible in the results because the ecdsa_engine dominates.
+
+use fabric_sim::{SimTime, MICROS};
+
+/// FPGA clock frequency (MHz), §4.1.
+pub const CLOCK_MHZ: u64 = 250;
+
+/// One clock cycle in [`SimTime`] units (4 ns at 250 MHz).
+pub const CYCLE: SimTime = 1_000 / CLOCK_MHZ;
+
+/// ECDSA verification latency of one engine (§4.3: ~360 µs).
+pub const ECDSA_ENGINE_LATENCY: SimTime = 360 * MICROS;
+
+/// protocol_processor sustained line rate in bits/second (Figure 9a:
+/// "capable of processing incoming data up to a rate of 11Gbps").
+pub const PROTOCOL_LINE_RATE_BPS: u64 = 11_000_000_000;
+
+/// Fixed per-packet latency through the protocol_processor module chain
+/// (PacketProcessor → DataInserter → DataExtractor/DataProcessor/
+/// HashCalculator → DataWriter), cut-through.
+pub const PACKET_LATENCY: SimTime = 2 * MICROS;
+
+/// tx_scheduler dispatch latency per transaction.
+pub const SCHEDULE_LATENCY: SimTime = CYCLE * 4;
+
+/// In-hardware database access latency per read/write (BRAM/URAM port).
+pub const HW_DB_ACCESS: SimTime = CYCLE * 50; // 200 ns
+
+/// Fixed per-transaction latency of the tx_mvcc_commit stage.
+pub const MVCC_FIXED: SimTime = 2 * MICROS;
+
+/// res_fifo + reg_map publication latency per block.
+pub const RESULT_PUBLISH: SimTime = MICROS;
+
+/// Serialization time of `bytes` through the protocol_processor at line
+/// rate.
+pub fn protocol_processing_time(bytes: usize) -> SimTime {
+    (bytes as u128 * 8 * fabric_sim::SECONDS as u128 / PROTOCOL_LINE_RATE_BPS as u128) as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_4ns() {
+        assert_eq!(CYCLE, 4);
+    }
+
+    #[test]
+    fn engine_latency_dominates_other_modules() {
+        for other in [PACKET_LATENCY, SCHEDULE_LATENCY, HW_DB_ACCESS, MVCC_FIXED, RESULT_PUBLISH]
+        {
+            assert!(ECDSA_ENGINE_LATENCY > 10 * other);
+        }
+    }
+
+    #[test]
+    fn line_rate_processing() {
+        // 11 Gbps: 1375 bytes in 1 us.
+        assert_eq!(protocol_processing_time(1375), MICROS);
+        // Paper: >= 996,000 tps at ~1,380-byte tx sections.
+        let tx_bytes = 1380;
+        let tps = fabric_sim::SECONDS / protocol_processing_time(tx_bytes);
+        assert!(tps > 990_000, "protocol processor tps {tps}");
+    }
+}

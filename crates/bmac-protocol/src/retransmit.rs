@@ -1,0 +1,347 @@
+//! Go-Back-N retransmission for the BMac protocol (paper §5 extension).
+//!
+//! The paper ships without retransmission ("we did not propose or
+//! implement a retransmission scheme for lost packets") and points at
+//! Go-Back-N "as it has been used in RDMA over Ethernet \[17\]" for
+//! deployments that need it. This module implements that extension: the
+//! sender numbers every packet with a connection-scoped sequence number
+//! and keeps a sliding window; the receiver acks cumulatively and the
+//! sender goes back to the first unacknowledged packet on timeout or
+//! out-of-order arrival (NACK).
+//!
+//! The scheme wraps the base protocol: sequence numbers ride in a small
+//! trailer appended to the encoded packet, so the inner BMac wire format
+//! is untouched and the hardware parse path stays cut-through.
+
+use std::collections::VecDeque;
+
+use crate::packet::PacketError;
+
+/// Sequence number type (wraps; the window is far smaller than the
+/// space).
+pub type Seq = u32;
+
+/// Trailer appended to each wire packet: magic + sequence number.
+const TRAILER_MAGIC: u16 = 0x6B4E; // "kN"
+const TRAILER_LEN: usize = 6;
+
+/// Feedback from receiver to sender.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feedback {
+    /// Cumulative acknowledgment: everything below `next` received.
+    Ack {
+        /// Next expected sequence number.
+        next: Seq,
+    },
+    /// Out-of-order arrival: ask the sender to go back to `expected`.
+    Nack {
+        /// Next expected sequence number.
+        expected: Seq,
+    },
+}
+
+/// Sender-side Go-Back-N state over encoded wire packets.
+#[derive(Debug)]
+pub struct GoBackNSender {
+    window: usize,
+    next_seq: Seq,
+    base: Seq,
+    /// Unacknowledged packets, front = `base`.
+    in_flight: VecDeque<(Seq, Vec<u8>)>,
+    /// Packets accepted but not yet transmittable (window full).
+    queued: VecDeque<Vec<u8>>,
+    retransmissions: u64,
+}
+
+impl GoBackNSender {
+    /// Creates a sender with the given window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        GoBackNSender {
+            window,
+            next_seq: 0,
+            base: 0,
+            in_flight: VecDeque::new(),
+            queued: VecDeque::new(),
+            retransmissions: 0,
+        }
+    }
+
+    /// Queues an encoded packet; returns any packets that may be
+    /// transmitted now (sequence trailer attached).
+    pub fn send(&mut self, wire: Vec<u8>) -> Vec<Vec<u8>> {
+        self.queued.push_back(wire);
+        self.fill_window()
+    }
+
+    /// Handles receiver feedback; returns packets to (re)transmit.
+    pub fn on_feedback(&mut self, fb: Feedback) -> Vec<Vec<u8>> {
+        match fb {
+            Feedback::Ack { next } => {
+                while let Some(&(seq, _)) = self.in_flight.front() {
+                    if seq_lt(seq, next) {
+                        self.in_flight.pop_front();
+                        self.base = next;
+                    } else {
+                        break;
+                    }
+                }
+                self.fill_window()
+            }
+            Feedback::Nack { expected } => self.go_back(expected),
+        }
+    }
+
+    /// Timeout expiry: retransmit the whole window from `base`.
+    pub fn on_timeout(&mut self) -> Vec<Vec<u8>> {
+        let base = self.base;
+        self.go_back(base)
+    }
+
+    /// Packets retransmitted so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Unacknowledged packet count.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn go_back(&mut self, from: Seq) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        for (seq, wire) in &self.in_flight {
+            if !seq_lt(*seq, from) {
+                out.push(attach_trailer(wire, *seq));
+                self.retransmissions += 1;
+            }
+        }
+        out
+    }
+
+    fn fill_window(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while self.in_flight.len() < self.window {
+            let Some(wire) = self.queued.pop_front() else {
+                break;
+            };
+            let seq = self.next_seq;
+            self.next_seq = self.next_seq.wrapping_add(1);
+            out.push(attach_trailer(&wire, seq));
+            self.in_flight.push_back((seq, wire));
+        }
+        out
+    }
+}
+
+/// Receiver-side Go-Back-N state: strips trailers, rejects gaps, and
+/// produces feedback for the sender.
+#[derive(Debug, Default)]
+pub struct GoBackNReceiver {
+    expected: Seq,
+    duplicates: u64,
+}
+
+impl GoBackNReceiver {
+    /// Creates a receiver expecting sequence 0.
+    pub fn new() -> Self {
+        GoBackNReceiver::default()
+    }
+
+    /// Processes one wire packet with trailer. Returns the inner packet
+    /// bytes when it is the next in order (deliver to the BMac
+    /// receiver), plus the feedback to send back.
+    ///
+    /// # Errors
+    ///
+    /// [`PacketError::Truncated`] when the trailer is missing/mangled.
+    pub fn on_wire(&mut self, wire: &[u8]) -> Result<(Option<Vec<u8>>, Feedback), PacketError> {
+        let (inner, seq) = split_trailer(wire)?;
+        if seq == self.expected {
+            self.expected = self.expected.wrapping_add(1);
+            Ok((Some(inner.to_vec()), Feedback::Ack { next: self.expected }))
+        } else if seq_lt(seq, self.expected) {
+            // Duplicate of something already delivered: re-ack.
+            self.duplicates += 1;
+            Ok((None, Feedback::Ack { next: self.expected }))
+        } else {
+            // Gap: Go-Back-N discards out-of-order packets.
+            Ok((None, Feedback::Nack { expected: self.expected }))
+        }
+    }
+
+    /// Duplicate deliveries observed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Next expected sequence number.
+    pub fn expected(&self) -> Seq {
+        self.expected
+    }
+}
+
+fn attach_trailer(wire: &[u8], seq: Seq) -> Vec<u8> {
+    let mut out = Vec::with_capacity(wire.len() + TRAILER_LEN);
+    out.extend_from_slice(wire);
+    out.extend_from_slice(&TRAILER_MAGIC.to_be_bytes());
+    out.extend_from_slice(&seq.to_be_bytes());
+    out
+}
+
+fn split_trailer(wire: &[u8]) -> Result<(&[u8], Seq), PacketError> {
+    if wire.len() < TRAILER_LEN {
+        return Err(PacketError::Truncated);
+    }
+    let (inner, trailer) = wire.split_at(wire.len() - TRAILER_LEN);
+    let magic = u16::from_be_bytes(trailer[..2].try_into().expect("2 bytes"));
+    if magic != TRAILER_MAGIC {
+        return Err(PacketError::Truncated);
+    }
+    let seq = Seq::from_be_bytes(trailer[2..].try_into().expect("4 bytes"));
+    Ok((inner, seq))
+}
+
+/// Wrap-around-aware `a < b` for sequence numbers.
+fn seq_lt(a: Seq, b: Seq) -> bool {
+    b.wrapping_sub(a).wrapping_sub(1) < Seq::MAX / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(i: u8) -> Vec<u8> {
+        vec![i; 8]
+    }
+
+    /// Delivers `wires` through a lossy channel defined by `drop`:
+    /// returns delivered inner packets in order.
+    fn run_channel(
+        packets: Vec<Vec<u8>>,
+        drop: impl Fn(usize) -> bool,
+        window: usize,
+    ) -> Vec<Vec<u8>> {
+        let mut sender = GoBackNSender::new(window);
+        let mut receiver = GoBackNReceiver::new();
+        let mut delivered = Vec::new();
+        let mut channel: VecDeque<Vec<u8>> = VecDeque::new();
+        for p in packets {
+            channel.extend(sender.send(p));
+        }
+        let mut step = 0usize;
+        let mut idle_rounds = 0;
+        while idle_rounds < 3 {
+            let mut progressed = false;
+            while let Some(wire) = channel.pop_front() {
+                step += 1;
+                if drop(step) {
+                    continue;
+                }
+                let (inner, fb) = receiver.on_wire(&wire).unwrap();
+                if let Some(inner) = inner {
+                    delivered.push(inner);
+                    progressed = true;
+                }
+                channel.extend(sender.on_feedback(fb));
+            }
+            if sender.in_flight() > 0 {
+                channel.extend(sender.on_timeout());
+            }
+            if progressed {
+                idle_rounds = 0;
+            } else {
+                idle_rounds += 1;
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn lossless_channel_delivers_in_order() {
+        let packets: Vec<Vec<u8>> = (0..10).map(pkt).collect();
+        let delivered = run_channel(packets.clone(), |_| false, 4);
+        assert_eq!(delivered, packets);
+    }
+
+    #[test]
+    fn periodic_loss_is_recovered() {
+        let packets: Vec<Vec<u8>> = (0..20).map(pkt).collect();
+        let delivered = run_channel(packets.clone(), |step| step % 7 == 0, 4);
+        assert_eq!(delivered, packets);
+    }
+
+    #[test]
+    fn heavy_loss_is_recovered() {
+        let packets: Vec<Vec<u8>> = (0..15).map(pkt).collect();
+        let delivered = run_channel(packets.clone(), |step| step % 3 == 0, 5);
+        assert_eq!(delivered, packets);
+    }
+
+    #[test]
+    fn retransmissions_are_counted() {
+        let mut sender = GoBackNSender::new(2);
+        let mut receiver = GoBackNReceiver::new();
+        let w1 = sender.send(pkt(1));
+        let _w2 = sender.send(pkt(2));
+        // Lose w1; deliver w2 -> NACK -> retransmit both.
+        let (_inner, fb) = receiver.on_wire(&_w2[0]).unwrap();
+        assert_eq!(fb, Feedback::Nack { expected: 0 });
+        let retrans = sender.on_feedback(fb);
+        assert_eq!(retrans.len(), 2);
+        assert!(sender.retransmissions() >= 2);
+        let _ = w1;
+    }
+
+    #[test]
+    fn window_limits_in_flight() {
+        let mut sender = GoBackNSender::new(3);
+        let mut sent = 0;
+        for i in 0..10 {
+            sent += sender.send(pkt(i)).len();
+        }
+        assert_eq!(sent, 3, "only the window transmits");
+        assert_eq!(sender.in_flight(), 3);
+        // Ack one -> one more flows.
+        let out = sender.on_feedback(Feedback::Ack { next: 1 });
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_reacked_not_delivered() {
+        let mut sender = GoBackNSender::new(4);
+        let mut receiver = GoBackNReceiver::new();
+        let wires = sender.send(pkt(0));
+        let (first, _) = receiver.on_wire(&wires[0]).unwrap();
+        assert!(first.is_some());
+        let (dup, fb) = receiver.on_wire(&wires[0]).unwrap();
+        assert!(dup.is_none());
+        assert_eq!(fb, Feedback::Ack { next: 1 });
+        assert_eq!(receiver.duplicates(), 1);
+    }
+
+    #[test]
+    fn trailer_roundtrip_and_corruption() {
+        let wire = attach_trailer(&pkt(7), 42);
+        let (inner, seq) = split_trailer(&wire).unwrap();
+        assert_eq!(inner, &pkt(7)[..]);
+        assert_eq!(seq, 42);
+        assert!(split_trailer(&wire[..3]).is_err());
+        let mut bad = wire.clone();
+        let n = bad.len();
+        bad[n - 6] ^= 0xff; // corrupt magic
+        assert!(split_trailer(&bad).is_err());
+    }
+
+    #[test]
+    fn seq_comparison_handles_wraparound() {
+        assert!(seq_lt(Seq::MAX, 0));
+        assert!(seq_lt(0, 1));
+        assert!(!seq_lt(1, 0));
+        assert!(!seq_lt(5, 5));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the BMac packet format and Go-Back-N.
+
+use bmac_protocol::packet::{Annotation, BmacPacket, FieldKind, SectionType};
+use bmac_protocol::retransmit::{Feedback, GoBackNReceiver, GoBackNSender};
+use bytes::Bytes;
+use proptest::prelude::*;
+
+fn arb_annotation() -> impl Strategy<Value = Annotation> {
+    prop_oneof![
+        (0u8..6, any::<u32>(), any::<u32>()).prop_map(|(k, offset, length)| {
+            let kind = match k {
+                0 => FieldKind::BlockSignature,
+                1 => FieldKind::ClientSignature,
+                2 => FieldKind::EndorsementSignature,
+                3 => FieldKind::ProposalResponse,
+                4 => FieldKind::RwSet,
+                _ => FieldKind::SignedPayload,
+            };
+            Annotation::Pointer { kind, offset, length }
+        }),
+        (any::<u32>(), any::<u16>()).prop_map(|(offset, id)| Annotation::Locator { offset, id }),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = BmacPacket> {
+    (
+        any::<u64>(),
+        0u8..4,
+        any::<u16>(),
+        any::<u16>(),
+        proptest::collection::vec(arb_annotation(), 0..12),
+        proptest::collection::vec(any::<u8>(), 0..2048),
+    )
+        .prop_map(|(block_num, s, index, total_txs, annotations, payload)| BmacPacket {
+            block_num,
+            section: match s {
+                0 => SectionType::Header,
+                1 => SectionType::Transaction,
+                2 => SectionType::Metadata,
+                _ => SectionType::IdentitySync,
+            },
+            index,
+            total_txs,
+            annotations,
+            payload: Bytes::from(payload),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn packet_roundtrip(p in arb_packet()) {
+        let wire = p.encode().unwrap();
+        prop_assert_eq!(wire.len(), p.wire_bytes());
+        let q = BmacPacket::decode(&wire).unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BmacPacket::decode(&bytes);
+    }
+
+    #[test]
+    fn truncated_packets_never_decode(p in arb_packet(), cut_frac in 0.0f64..1.0) {
+        let wire = p.encode().unwrap();
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < wire.len());
+        prop_assert!(BmacPacket::decode(&wire[..cut]).is_err());
+    }
+
+    #[test]
+    fn go_back_n_delivers_everything_in_order(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..24),
+        drop_pattern in proptest::collection::vec(any::<bool>(), 64),
+        window in 1usize..8,
+    ) {
+        let mut sender = GoBackNSender::new(window);
+        let mut receiver = GoBackNReceiver::new();
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut channel: std::collections::VecDeque<Vec<u8>> = Default::default();
+        for p in &payloads {
+            channel.extend(sender.send(p.clone()));
+        }
+        let mut step = 0usize;
+        let mut idle = 0;
+        // Each unproductive round advances `step` by at least one while
+        // packets are in flight, so the drop window (drop_pattern.len()
+        // steps) is certainly exhausted within that many idle rounds.
+        while idle < drop_pattern.len() + 2 {
+            let before = delivered.len();
+            while let Some(wire) = channel.pop_front() {
+                // Drop according to the pattern during the initial window
+                // only: a deterministic periodic channel can starve
+                // retransmissions forever, which no stochastic network
+                // does. After the window the channel is clean, so the
+                // protocol must recover completely.
+                let dropped = step < drop_pattern.len() && drop_pattern[step];
+                step += 1;
+                if dropped {
+                    continue;
+                }
+                let (inner, fb) = receiver.on_wire(&wire).unwrap();
+                if let Some(inner) = inner {
+                    delivered.push(inner);
+                }
+                channel.extend(sender.on_feedback(fb));
+            }
+            if sender.in_flight() > 0 {
+                channel.extend(sender.on_timeout());
+            }
+            idle = if delivered.len() > before { 0 } else { idle + 1 };
+        }
+        // Every payload must arrive exactly once, in order.
+        prop_assert_eq!(delivered, payloads);
+    }
+
+    #[test]
+    fn receiver_acks_monotonically(
+        seqs in proptest::collection::vec(any::<u8>(), 1..32),
+    ) {
+        // Whatever garbage order we feed, the cumulative ack must never
+        // move backwards.
+        let mut sender = GoBackNSender::new(64);
+        let wires: Vec<Vec<u8>> = seqs.iter().flat_map(|b| sender.send(vec![*b])).collect();
+        let mut receiver = GoBackNReceiver::new();
+        let mut last_ack = 0u32;
+        for w in wires.iter().rev().chain(wires.iter()) {
+            let (_, fb) = receiver.on_wire(w).unwrap();
+            if let Feedback::Ack { next } = fb {
+                prop_assert!(next >= last_ack);
+                last_ack = next;
+            }
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! Fixed-width 256-bit unsigned integer arithmetic.
+//!
+//! [`U256`] is the scalar/coordinate type underlying the P-256
+//! implementation in [`crate::curve`] and [`crate::ecdsa`]. It is a plain
+//! little-endian 4×`u64` limb vector with the usual carry-propagating
+//! arithmetic, plus the widening multiply and 512-by-256-bit remainder
+//! needed by modular reduction.
+//!
+//! The type is deliberately minimal: it implements only the operations the
+//! cryptographic stack needs, and every operation is checked (no implicit
+//! wrap-around except where the method name says so).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 256-bit unsigned integer stored as four little-endian `u64` limbs.
+///
+/// ```
+/// use fabric_crypto::bigint::U256;
+/// let a = U256::from_u64(7);
+/// let b = U256::from_u64(5);
+/// assert_eq!(a.wrapping_add(&b), U256::from_u64(12));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+/// A 512-bit product of two [`U256`] values, little-endian 8×`u64` limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct U512(pub [u64; 8]);
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a `U256` from a single `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+
+    /// Creates a `U256` from big-endian bytes.
+    ///
+    /// Accepts up to 32 bytes; shorter slices are treated as left-padded
+    /// with zeros (matching the interpretation of DER integers and hash
+    /// outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "U256::from_be_bytes: more than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let off = 32 - 8 * (i + 1);
+            *limb = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+        }
+        U256(limbs)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let off = 32 - 8 * (i + 1);
+            out[off..off + 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, up to 64 digits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseUintError`] when the input is empty, longer than 64
+    /// digits, or contains a non-hex character.
+    pub fn from_hex(s: &str) -> Result<Self, ParseUintError> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        if s.is_empty() || s.len() > 64 {
+            return Err(ParseUintError { input_len: s.len() });
+        }
+        let mut v = U256::ZERO;
+        for c in s.chars() {
+            let d = c.to_digit(16).ok_or(ParseUintError { input_len: s.len() })? as u64;
+            v = v.shl_small(4);
+            v.0[0] |= d;
+        }
+        Ok(v)
+    }
+
+    /// Formats as a 64-digit lowercase hex string.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.to_be_bytes() {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Returns `true` if the value is odd.
+    pub fn is_odd(&self) -> bool {
+        self.0[0] & 1 == 1
+    }
+
+    /// Returns the value of bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Addition returning the sum and the carry-out.
+    #[allow(clippy::needless_range_loop)] // lock-step carry propagation
+    pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping (mod `2^256`) addition.
+    pub fn wrapping_add(&self, rhs: &U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Subtraction returning the difference and the borrow-out.
+    #[allow(clippy::needless_range_loop)] // lock-step carry propagation
+    pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Wrapping (mod `2^256`) subtraction.
+    pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Full 256×256 → 512-bit schoolbook multiplication.
+    pub fn widening_mul(&self, rhs: &U256) -> U512 {
+        let mut out = [0u64; 8];
+        for i in 0..4 {
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            out[i + 4] = carry as u64;
+        }
+        U512(out)
+    }
+
+    /// Left shift by `k < 64` bits, discarding overflow.
+    pub fn shl_small(&self, k: u32) -> U256 {
+        if k == 0 {
+            return *self;
+        }
+        debug_assert!(k < 64);
+        let mut out = [0u64; 4];
+        for i in (0..4).rev() {
+            out[i] = self.0[i] << k;
+            if i > 0 {
+                out[i] |= self.0[i - 1] >> (64 - k);
+            }
+        }
+        U256(out)
+    }
+
+    /// Right shift by `k < 64` bits.
+    #[allow(clippy::needless_range_loop)] // lock-step carry propagation
+    pub fn shr_small(&self, k: u32) -> U256 {
+        if k == 0 {
+            return *self;
+        }
+        debug_assert!(k < 64);
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            out[i] = self.0[i] >> k;
+            if i < 3 {
+                out[i] |= self.0[i + 1] << (64 - k);
+            }
+        }
+        U256(out)
+    }
+
+    /// Modular addition: `(self + rhs) mod m`.
+    ///
+    /// Requires `self < m` and `rhs < m`.
+    pub fn add_mod(&self, rhs: &U256, m: &U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || &sum >= m {
+            sum.wrapping_sub(m)
+        } else {
+            sum
+        }
+    }
+
+    /// Modular subtraction: `(self - rhs) mod m`.
+    ///
+    /// Requires `self < m` and `rhs < m`.
+    pub fn sub_mod(&self, rhs: &U256, m: &U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        let (diff, borrow) = self.overflowing_sub(rhs);
+        if borrow {
+            diff.wrapping_add(m)
+        } else {
+            diff
+        }
+    }
+
+    /// Remainder of `self` divided by `m` via binary long division.
+    ///
+    /// Used only on cold paths (reduction of hash outputs, Montgomery
+    /// constant setup); hot-path modular multiplication lives in
+    /// [`crate::mont`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero");
+        if self < m {
+            return *self;
+        }
+        U512::from_u256(self).rem(m)
+    }
+}
+
+impl U512 {
+    /// Widens a [`U256`] into the low half of a [`U512`].
+    pub fn from_u256(v: &U256) -> Self {
+        U512([v.0[0], v.0[1], v.0[2], v.0[3], 0, 0, 0, 0])
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&l| l == 0)
+    }
+
+    /// Returns the value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 512`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 512, "bit index out of range");
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        for i in (0..8).rev() {
+            if self.0[i] != 0 {
+                return 64 * i + (64 - self.0[i].leading_zeros() as usize);
+            }
+        }
+        0
+    }
+
+    /// Remainder of `self` divided by a 256-bit modulus, by shift-subtract
+    /// long division. `O(bits)` but only used on cold paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn rem(&self, m: &U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero");
+        let mlen = m.bit_len();
+        let len = self.bit_len();
+        if len == 0 {
+            return U256::ZERO;
+        }
+        let mut r = U256::ZERO;
+        for i in (0..len).rev() {
+            // r = r*2 + bit(i); r always < 2m <= 2^257 so track the carry.
+            let carry_out = r.bit(255);
+            r = r.shl_small(1);
+            if self.bit(i) {
+                r.0[0] |= 1;
+            }
+            if carry_out || &r >= m {
+                r = r.wrapping_sub(m);
+            }
+            debug_assert!(&r < m || mlen == 256);
+        }
+        r
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U512(")?;
+        for l in self.0.iter().rev() {
+            write!(f, "{l:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256::from_u64(v)
+    }
+}
+
+/// Error returned when parsing a hex string into a [`U256`] fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseUintError {
+    input_len: usize,
+}
+
+impl fmt::Display for ParseUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid 256-bit hex integer (length {} after whitespace removal)",
+            self.input_len
+        )
+    }
+}
+
+impl std::error::Error for ParseUintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_hex() {
+        let v = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .unwrap();
+        assert_eq!(
+            v.to_hex(),
+            "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff"
+        );
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(U256::from_hex("").is_err());
+        assert!(U256::from_hex("zz").is_err());
+        assert!(U256::from_hex(&"f".repeat(65)).is_err());
+    }
+
+    #[test]
+    fn be_bytes_roundtrip_short_input() {
+        let v = U256::from_be_bytes(&[0x12, 0x34]);
+        assert_eq!(v, U256::from_u64(0x1234));
+        let be = v.to_be_bytes();
+        assert_eq!(&be[30..], &[0x12, 0x34]);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256([u64::MAX, u64::MAX, 0, 0]);
+        let b = U256::ONE;
+        let (s, c) = a.overflowing_add(&b);
+        assert!(!c);
+        assert_eq!(s, U256([0, 0, 1, 0]));
+    }
+
+    #[test]
+    fn add_overflow_is_reported() {
+        let (s, c) = U256::MAX.overflowing_add(&U256::ONE);
+        assert!(c);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = U256([0, 0, 1, 0]);
+        let b = U256::ONE;
+        let (d, bor) = a.overflowing_sub(&b);
+        assert!(!bor);
+        assert_eq!(d, U256([u64::MAX, u64::MAX, 0, 0]));
+        let (_, bor) = U256::ZERO.overflowing_sub(&U256::ONE);
+        assert!(bor);
+    }
+
+    #[test]
+    fn widening_mul_simple() {
+        let a = U256::from_u64(u64::MAX);
+        let prod = a.widening_mul(&a);
+        // (2^64-1)^2 = 2^128 - 2^65 + 1
+        assert_eq!(prod.0[0], 1);
+        assert_eq!(prod.0[1], u64::MAX - 1);
+        assert_eq!(prod.0[2], 0);
+    }
+
+    #[test]
+    fn rem_matches_small_values() {
+        let a = U256::from_u64(1_000_000_007);
+        let m = U256::from_u64(97);
+        assert_eq!(a.rem(&m), U256::from_u64(1_000_000_007 % 97));
+    }
+
+    #[test]
+    fn rem_512() {
+        // (2^256) mod 97: compute via U512
+        let mut v = U512::default();
+        v.0[4] = 1; // 2^256
+        let m = U256::from_u64(97);
+        // 2^256 mod 97 == pow_mod(2,256,97)
+        let mut expect = 1u64;
+        for _ in 0..256 {
+            expect = expect * 2 % 97;
+        }
+        assert_eq!(v.rem(&m), U256::from_u64(expect));
+    }
+
+    #[test]
+    fn bit_len_and_bits() {
+        assert_eq!(U256::ZERO.bit_len(), 0);
+        assert_eq!(U256::ONE.bit_len(), 1);
+        assert_eq!(U256::from_u64(0x8000_0000_0000_0000).bit_len(), 64);
+        let v = U256([0, 0, 0, 1]);
+        assert_eq!(v.bit_len(), 193);
+        assert!(v.bit(192));
+        assert!(!v.bit(191));
+    }
+
+    #[test]
+    fn shifts() {
+        let v = U256::from_u64(0xff);
+        assert_eq!(v.shl_small(8), U256::from_u64(0xff00));
+        assert_eq!(v.shl_small(8).shr_small(8), v);
+        // shift across limb boundary
+        let v = U256([1 << 63, 0, 0, 0]);
+        assert_eq!(v.shl_small(1), U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn mod_add_sub() {
+        let m = U256::from_u64(1000);
+        let a = U256::from_u64(700);
+        let b = U256::from_u64(600);
+        assert_eq!(a.add_mod(&b, &m), U256::from_u64(300));
+        assert_eq!(b.sub_mod(&a, &m), U256::from_u64(900));
+    }
+
+    #[test]
+    fn ordering() {
+        let a = U256([0, 0, 0, 1]);
+        let b = U256([u64::MAX, u64::MAX, u64::MAX, 0]);
+        assert!(a > b);
+        assert!(b < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+}

@@ -1,0 +1,488 @@
+//! NIST P-256 (secp256r1) elliptic curve group operations.
+//!
+//! Fabric's default signature scheme is 256-bit ECDSA over this curve
+//! (paper §2.1.1), so the whole validation pipeline — client signatures,
+//! endorsements, orderer block signatures — runs on the arithmetic in this
+//! module. Points are manipulated in Jacobian coordinates over the
+//! Montgomery-domain field implementation from [`crate::mont`].
+//!
+//! The implementation favours clarity and auditability over side-channel
+//! hardening: this library signs only synthetic benchmark identities.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::bigint::U256;
+use crate::mont::MontgomeryDomain;
+
+/// Curve parameters and shared Montgomery domains for `p` and `n`.
+#[derive(Debug)]
+pub struct CurveParams {
+    /// Field domain (modulo the prime `p`).
+    pub fp: MontgomeryDomain,
+    /// Scalar domain (modulo the group order `n`).
+    pub fn_: MontgomeryDomain,
+    /// Curve coefficient `a = -3` in Montgomery form.
+    pub a: U256,
+    /// Curve coefficient `b` in Montgomery form.
+    pub b: U256,
+    /// Base point in affine coordinates (Montgomery form).
+    pub gx: U256,
+    /// Base point y (Montgomery form).
+    pub gy: U256,
+    /// Group order `n` as a plain integer.
+    pub order: U256,
+}
+
+/// Returns the process-wide P-256 parameter set.
+pub fn p256() -> &'static CurveParams {
+    static PARAMS: OnceLock<CurveParams> = OnceLock::new();
+    PARAMS.get_or_init(|| {
+        let p =
+            U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+                .expect("p-256 prime literal");
+        let n =
+            U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+                .expect("p-256 order literal");
+        let b =
+            U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+                .expect("p-256 b literal");
+        let gx =
+            U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+                .expect("p-256 gx literal");
+        let gy =
+            U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+                .expect("p-256 gy literal");
+        let fp = MontgomeryDomain::new(p);
+        let fn_ = MontgomeryDomain::new(n);
+        let three = fp.to_mont(&U256::from_u64(3));
+        let a = fp.neg(&three);
+        let b = fp.to_mont(&b);
+        let gx = fp.to_mont(&gx);
+        let gy = fp.to_mont(&gy);
+        CurveParams { fp, fn_, a, b, gx, gy, order: n }
+    })
+}
+
+/// A point on P-256 in affine coordinates, or the identity.
+///
+/// Coordinates are stored in Montgomery form; use
+/// [`AffinePoint::x_bytes`]/[`AffinePoint::to_sec1_bytes`] for wire
+/// representations.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct AffinePoint {
+    /// x coordinate (Montgomery form). Meaningless when `infinity`.
+    pub x: U256,
+    /// y coordinate (Montgomery form). Meaningless when `infinity`.
+    pub y: U256,
+    /// Marker for the group identity.
+    pub infinity: bool,
+}
+
+/// A point in Jacobian projective coordinates `(X, Y, Z)`,
+/// with affine `(X/Z², Y/Z³)`; `Z = 0` encodes the identity.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobianPoint {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+impl AffinePoint {
+    /// The group identity (point at infinity).
+    pub fn identity() -> Self {
+        AffinePoint { x: U256::ZERO, y: U256::ZERO, infinity: true }
+    }
+
+    /// The curve base point `G`.
+    pub fn generator() -> Self {
+        let c = p256();
+        AffinePoint { x: c.gx, y: c.gy, infinity: false }
+    }
+
+    /// Constructs a point from plain (non-Montgomery) affine coordinates,
+    /// verifying the curve equation `y² = x³ - 3x + b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PointError::NotOnCurve`] when the coordinates do not
+    /// satisfy the curve equation, or [`PointError::OutOfRange`] when a
+    /// coordinate is `>= p`.
+    pub fn from_coords(x: &U256, y: &U256) -> Result<Self, PointError> {
+        let c = p256();
+        if x >= c.fp.modulus() || y >= c.fp.modulus() {
+            return Err(PointError::OutOfRange);
+        }
+        let xm = c.fp.to_mont(x);
+        let ym = c.fp.to_mont(y);
+        let pt = AffinePoint { x: xm, y: ym, infinity: false };
+        if pt.is_on_curve() {
+            Ok(pt)
+        } else {
+            Err(PointError::NotOnCurve)
+        }
+    }
+
+    /// Checks the curve equation. The identity is considered on-curve.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let c = p256();
+        let y2 = c.fp.sqr(&self.y);
+        let x3 = c.fp.mul(&c.fp.sqr(&self.x), &self.x);
+        let ax = c.fp.mul(&c.a, &self.x);
+        let rhs = c.fp.add(&c.fp.add(&x3, &ax), &c.b);
+        y2 == rhs
+    }
+
+    /// The x coordinate as a plain 32-byte big-endian integer.
+    pub fn x_bytes(&self) -> [u8; 32] {
+        p256().fp.from_mont(&self.x).to_be_bytes()
+    }
+
+    /// The y coordinate as a plain 32-byte big-endian integer.
+    pub fn y_bytes(&self) -> [u8; 32] {
+        p256().fp.from_mont(&self.y).to_be_bytes()
+    }
+
+    /// Serializes in uncompressed SEC1 form (`04 || X || Y`, 65 bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on the identity, which has no SEC1 encoding here.
+    pub fn to_sec1_bytes(&self) -> [u8; 65] {
+        assert!(!self.infinity, "identity has no SEC1 encoding");
+        let mut out = [0u8; 65];
+        out[0] = 0x04;
+        out[1..33].copy_from_slice(&self.x_bytes());
+        out[33..].copy_from_slice(&self.y_bytes());
+        out
+    }
+
+    /// Parses an uncompressed SEC1 point.
+    ///
+    /// # Errors
+    ///
+    /// [`PointError::Encoding`] for a wrong tag/length, plus the
+    /// [`Self::from_coords`] error cases.
+    pub fn from_sec1_bytes(bytes: &[u8]) -> Result<Self, PointError> {
+        if bytes.len() != 65 || bytes[0] != 0x04 {
+            return Err(PointError::Encoding);
+        }
+        let x = U256::from_be_bytes(&bytes[1..33]);
+        let y = U256::from_be_bytes(&bytes[33..65]);
+        Self::from_coords(&x, &y)
+    }
+
+    /// Lifts to Jacobian coordinates.
+    pub fn to_jacobian(&self) -> JacobianPoint {
+        if self.infinity {
+            JacobianPoint::identity()
+        } else {
+            JacobianPoint { x: self.x, y: self.y, z: p256().fp.one() }
+        }
+    }
+
+    /// Scalar multiplication `k·self` using a 4-bit window.
+    pub fn mul_scalar(&self, k: &U256) -> AffinePoint {
+        self.to_jacobian().mul_scalar(k).to_affine()
+    }
+}
+
+impl fmt::Debug for AffinePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.infinity {
+            write!(f, "AffinePoint(identity)")
+        } else {
+            write!(
+                f,
+                "AffinePoint(x=0x{}, y=0x{})",
+                p256().fp.from_mont(&self.x).to_hex(),
+                p256().fp.from_mont(&self.y).to_hex()
+            )
+        }
+    }
+}
+
+impl JacobianPoint {
+    /// The group identity.
+    pub fn identity() -> Self {
+        JacobianPoint { x: p256().fp.one(), y: p256().fp.one(), z: U256::ZERO }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (dbl-2001-b, valid for `a = -3`).
+    pub fn double(&self) -> JacobianPoint {
+        if self.is_identity() || self.y.is_zero() {
+            return JacobianPoint::identity();
+        }
+        let f = &p256().fp;
+        // delta = Z^2, gamma = Y^2, beta = X*gamma
+        let delta = f.sqr(&self.z);
+        let gamma = f.sqr(&self.y);
+        let beta = f.mul(&self.x, &gamma);
+        // alpha = 3*(X-delta)*(X+delta)
+        let t0 = f.sub(&self.x, &delta);
+        let t1 = f.add(&self.x, &delta);
+        let t2 = f.mul(&t0, &t1);
+        let alpha = f.add(&f.add(&t2, &t2), &t2);
+        // X3 = alpha^2 - 8*beta
+        let beta2 = f.add(&beta, &beta);
+        let beta4 = f.add(&beta2, &beta2);
+        let beta8 = f.add(&beta4, &beta4);
+        let x3 = f.sub(&f.sqr(&alpha), &beta8);
+        // Z3 = (Y+Z)^2 - gamma - delta
+        let yz = f.add(&self.y, &self.z);
+        let z3 = f.sub(&f.sub(&f.sqr(&yz), &gamma), &delta);
+        // Y3 = alpha*(4*beta - X3) - 8*gamma^2
+        let gsq = f.sqr(&gamma);
+        let gsq2 = f.add(&gsq, &gsq);
+        let gsq4 = f.add(&gsq2, &gsq2);
+        let g8 = f.add(&gsq4, &gsq4);
+        let y3 = f.sub(&f.mul(&alpha, &f.sub(&beta4, &x3)), &g8);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// General Jacobian point addition (add-2007-bl).
+    pub fn add(&self, other: &JacobianPoint) -> JacobianPoint {
+        if self.is_identity() {
+            return *other;
+        }
+        if other.is_identity() {
+            return *self;
+        }
+        let f = &p256().fp;
+        let z1z1 = f.sqr(&self.z);
+        let z2z2 = f.sqr(&other.z);
+        let u1 = f.mul(&self.x, &z2z2);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s1 = f.mul(&f.mul(&self.y, &other.z), &z2z2);
+        let s2 = f.mul(&f.mul(&other.y, &self.z), &z1z1);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return JacobianPoint::identity();
+        }
+        let h = f.sub(&u2, &u1);
+        let h2 = f.add(&h, &h);
+        let i = f.sqr(&h2);
+        let j = f.mul(&h, &i);
+        let r0 = f.sub(&s2, &s1);
+        let r = f.add(&r0, &r0);
+        let v = f.mul(&u1, &i);
+        // X3 = r^2 - J - 2*V
+        let x3 = f.sub(&f.sub(&f.sqr(&r), &j), &f.add(&v, &v));
+        // Y3 = r*(V - X3) - 2*S1*J
+        let s1j = f.mul(&s1, &j);
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.add(&s1j, &s1j));
+        // Z3 = ((Z1+Z2)^2 - Z1Z1 - Z2Z2) * H
+        let z12 = f.add(&self.z, &other.z);
+        let z3 = f.mul(&f.sub(&f.sub(&f.sqr(&z12), &z1z1), &z2z2), &h);
+        JacobianPoint { x: x3, y: y3, z: z3 }
+    }
+
+    /// Windowed (4-bit) scalar multiplication `k·self`.
+    pub fn mul_scalar(&self, k: &U256) -> JacobianPoint {
+        if k.is_zero() || self.is_identity() {
+            return JacobianPoint::identity();
+        }
+        // Precompute 1..15 multiples.
+        let mut table = [JacobianPoint::identity(); 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = if i % 2 == 0 {
+                table[i / 2].double()
+            } else {
+                table[i - 1].add(self)
+            };
+        }
+        let nibbles = k.bit_len().div_ceil(4);
+        let mut acc = JacobianPoint::identity();
+        for w in (0..nibbles).rev() {
+            for _ in 0..4 {
+                acc = acc.double();
+            }
+            let idx = ((k.0[w / 16] >> ((w % 16) * 4)) & 0xf) as usize;
+            if idx != 0 {
+                acc = acc.add(&table[idx]);
+            }
+        }
+        acc
+    }
+
+    /// Interleaved double-scalar multiplication `u1·G + u2·Q`
+    /// (Shamir's trick), the hot operation in ECDSA verification.
+    pub fn shamir(u1: &U256, g: &JacobianPoint, u2: &U256, q: &JacobianPoint) -> JacobianPoint {
+        let sum = g.add(q);
+        let bits = u1.bit_len().max(u2.bit_len());
+        let mut acc = JacobianPoint::identity();
+        for i in (0..bits).rev() {
+            acc = acc.double();
+            match (u1.bit(i), u2.bit(i)) {
+                (true, true) => acc = acc.add(&sum),
+                (true, false) => acc = acc.add(g),
+                (false, true) => acc = acc.add(q),
+                (false, false) => {}
+            }
+        }
+        acc
+    }
+
+    /// Projects back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_identity() {
+            return AffinePoint::identity();
+        }
+        let f = &p256().fp;
+        let zinv = f.inv_prime(&self.z).expect("nonzero z");
+        let zinv2 = f.sqr(&zinv);
+        let zinv3 = f.mul(&zinv2, &zinv);
+        AffinePoint {
+            x: f.mul(&self.x, &zinv2),
+            y: f.mul(&self.y, &zinv3),
+            infinity: false,
+        }
+    }
+}
+
+/// Errors constructing or decoding curve points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointError {
+    /// The coordinates fail the curve equation.
+    NotOnCurve,
+    /// A coordinate was `>= p`.
+    OutOfRange,
+    /// The byte encoding was malformed.
+    Encoding,
+}
+
+impl fmt::Display for PointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PointError::NotOnCurve => write!(f, "point is not on the P-256 curve"),
+            PointError::OutOfRange => write!(f, "coordinate exceeds the field modulus"),
+            PointError::Encoding => write!(f, "malformed SEC1 point encoding"),
+        }
+    }
+}
+
+impl std::error::Error for PointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(AffinePoint::generator().is_on_curve());
+    }
+
+    #[test]
+    fn two_g_matches_known_vector() {
+        // 2G from the public SEC/NIST multiplication tables.
+        let g = AffinePoint::generator();
+        let two_g = g.mul_scalar(&U256::from_u64(2));
+        assert_eq!(
+            two_g.x_bytes().to_vec(),
+            hex("7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978")
+        );
+        assert_eq!(
+            two_g.y_bytes().to_vec(),
+            hex("07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1")
+        );
+    }
+
+    #[test]
+    fn add_and_double_agree() {
+        let g = AffinePoint::generator().to_jacobian();
+        let d = g.double().to_affine();
+        let a = g.add(&g).to_affine();
+        assert_eq!(d, a);
+        assert!(d.is_on_curve());
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition() {
+        let g = AffinePoint::generator().to_jacobian();
+        let mut acc = JacobianPoint::identity();
+        for k in 1u64..=20 {
+            acc = acc.add(&g);
+            let fast = g.mul_scalar(&U256::from_u64(k)).to_affine();
+            assert_eq!(acc.to_affine(), fast, "k={k}");
+        }
+    }
+
+    #[test]
+    fn order_times_g_is_identity() {
+        let g = AffinePoint::generator().to_jacobian();
+        let n = p256().order;
+        assert!(g.mul_scalar(&n).is_identity());
+        // (n-1)G = -G
+        let nm1 = n.wrapping_sub(&U256::ONE);
+        let p = g.mul_scalar(&nm1).to_affine();
+        let f = &p256().fp;
+        assert_eq!(p.x, AffinePoint::generator().x);
+        assert_eq!(p.y, f.neg(&AffinePoint::generator().y));
+    }
+
+    #[test]
+    fn shamir_equals_separate_muls() {
+        let g = AffinePoint::generator().to_jacobian();
+        let q = g.mul_scalar(&U256::from_u64(777));
+        let u1 = U256::from_u64(123456789);
+        let u2 = U256::from_u64(987654321);
+        let lhs = JacobianPoint::shamir(&u1, &g, &u2, &q).to_affine();
+        let rhs = g.mul_scalar(&u1).add(&q.mul_scalar(&u2)).to_affine();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn sec1_roundtrip() {
+        let p = AffinePoint::generator().mul_scalar(&U256::from_u64(31337));
+        let bytes = p.to_sec1_bytes();
+        let q = AffinePoint::from_sec1_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn sec1_rejects_bad_encodings() {
+        assert_eq!(AffinePoint::from_sec1_bytes(&[0x04; 10]), Err(PointError::Encoding));
+        let mut bytes = AffinePoint::generator().to_sec1_bytes();
+        bytes[0] = 0x02;
+        assert_eq!(AffinePoint::from_sec1_bytes(&bytes), Err(PointError::Encoding));
+        bytes[0] = 0x04;
+        bytes[64] ^= 1; // corrupt y
+        assert_eq!(AffinePoint::from_sec1_bytes(&bytes), Err(PointError::NotOnCurve));
+    }
+
+    #[test]
+    fn identity_behaviour() {
+        let id = JacobianPoint::identity();
+        let g = AffinePoint::generator().to_jacobian();
+        assert_eq!(id.add(&g).to_affine(), g.to_affine());
+        assert_eq!(g.add(&id).to_affine(), g.to_affine());
+        assert!(id.double().is_identity());
+        assert!(AffinePoint::identity().is_on_curve());
+    }
+
+    #[test]
+    fn inverse_points_cancel() {
+        let f = &p256().fp;
+        let g = AffinePoint::generator();
+        let neg_g = AffinePoint { x: g.x, y: f.neg(&g.y), infinity: false };
+        assert!(g.to_jacobian().add(&neg_g.to_jacobian()).is_identity());
+    }
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+}

@@ -1,0 +1,245 @@
+//! DER (ASN.1) encoding of ECDSA signatures.
+//!
+//! Fabric serializes ECDSA signatures in the DER `ECDSA-Sig-Value` form
+//! (`SEQUENCE { r INTEGER, s INTEGER }`). The Blockchain Machine's
+//! `DataProcessor` contains a DER postprocessor that "decodes the signature
+//! data field to find its two parts (r and s), and then converts those
+//! parts to 256-bit values (which are expected by ECDSA verification
+//! hardware)" (paper §3.2). This module implements both directions with
+//! strict minimal-encoding rules.
+
+use std::fmt;
+
+use crate::bigint::U256;
+use crate::ecdsa::Signature;
+
+/// Encodes a signature as DER `SEQUENCE { INTEGER r, INTEGER s }`.
+///
+/// Integers use minimal two's-complement encoding: leading zero bytes are
+/// stripped and a single `0x00` is prepended when the high bit is set.
+pub fn encode_signature(sig: &Signature) -> Vec<u8> {
+    let r = encode_uint(&sig.r);
+    let s = encode_uint(&sig.s);
+    let body_len = r.len() + s.len();
+    debug_assert!(body_len < 128, "P-256 signature bodies are short-form");
+    let mut out = Vec::with_capacity(body_len + 2);
+    out.push(0x30); // SEQUENCE
+    out.push(body_len as u8);
+    out.extend_from_slice(&r);
+    out.extend_from_slice(&s);
+    out
+}
+
+/// Decodes a DER `ECDSA-Sig-Value`, enforcing minimal encodings.
+///
+/// # Errors
+///
+/// Returns [`DerError`] describing the first malformed element. Trailing
+/// bytes after the sequence are rejected.
+pub fn decode_signature(bytes: &[u8]) -> Result<Signature, DerError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    let seq_len = cur.expect_tag_len(0x30)?;
+    if cur.pos + seq_len != bytes.len() {
+        return Err(DerError::TrailingBytes);
+    }
+    let r = cur.read_integer()?;
+    let s = cur.read_integer()?;
+    if cur.pos != bytes.len() {
+        return Err(DerError::TrailingBytes);
+    }
+    Ok(Signature { r, s })
+}
+
+fn encode_uint(v: &U256) -> Vec<u8> {
+    let be = v.to_be_bytes();
+    let first = be.iter().position(|&b| b != 0).unwrap_or(31);
+    let mut body: Vec<u8> = Vec::with_capacity(34);
+    if be[first] & 0x80 != 0 {
+        body.push(0x00);
+    }
+    body.extend_from_slice(&be[first..]);
+    let mut out = Vec::with_capacity(body.len() + 2);
+    out.push(0x02); // INTEGER
+    out.push(body.len() as u8);
+    out.extend_from_slice(&body);
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], DerError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(DerError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn expect_tag_len(&mut self, tag: u8) -> Result<usize, DerError> {
+        let hdr = self.take(2)?;
+        if hdr[0] != tag {
+            return Err(DerError::UnexpectedTag { expected: tag, found: hdr[0] });
+        }
+        let len = hdr[1];
+        if len & 0x80 != 0 {
+            // P-256 structures never need long-form lengths.
+            return Err(DerError::LongFormLength);
+        }
+        Ok(len as usize)
+    }
+
+    fn read_integer(&mut self) -> Result<U256, DerError> {
+        let len = self.expect_tag_len(0x02)?;
+        if len == 0 {
+            return Err(DerError::EmptyInteger);
+        }
+        let body = self.take(len)?;
+        if body[0] & 0x80 != 0 {
+            return Err(DerError::NegativeInteger);
+        }
+        // Minimal encoding: a leading 0x00 is only allowed to clear the
+        // sign bit of the following byte.
+        if body.len() > 1 && body[0] == 0x00 && body[1] & 0x80 == 0 {
+            return Err(DerError::NonMinimalInteger);
+        }
+        let digits = if body[0] == 0x00 { &body[1..] } else { body };
+        if digits.len() > 32 {
+            return Err(DerError::IntegerTooLarge);
+        }
+        Ok(U256::from_be_bytes(digits))
+    }
+}
+
+/// Errors decoding DER-encoded signatures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DerError {
+    /// Input ended before a declared length was satisfied.
+    Truncated,
+    /// A tag byte did not match the expected ASN.1 type.
+    UnexpectedTag {
+        /// Tag required at this position.
+        expected: u8,
+        /// Tag actually present.
+        found: u8,
+    },
+    /// Long-form lengths are not used by P-256 signatures.
+    LongFormLength,
+    /// An INTEGER had zero length.
+    EmptyInteger,
+    /// An INTEGER was negative (high bit set without padding).
+    NegativeInteger,
+    /// An INTEGER used a non-minimal encoding.
+    NonMinimalInteger,
+    /// An INTEGER exceeded 256 bits.
+    IntegerTooLarge,
+    /// Extra bytes followed the outer SEQUENCE.
+    TrailingBytes,
+}
+
+impl fmt::Display for DerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DerError::Truncated => write!(f, "DER input truncated"),
+            DerError::UnexpectedTag { expected, found } => {
+                write!(f, "expected DER tag 0x{expected:02x}, found 0x{found:02x}")
+            }
+            DerError::LongFormLength => write!(f, "unexpected long-form DER length"),
+            DerError::EmptyInteger => write!(f, "empty DER integer"),
+            DerError::NegativeInteger => write!(f, "negative DER integer"),
+            DerError::NonMinimalInteger => write!(f, "non-minimal DER integer encoding"),
+            DerError::IntegerTooLarge => write!(f, "DER integer exceeds 256 bits"),
+            DerError::TrailingBytes => write!(f, "trailing bytes after DER structure"),
+        }
+    }
+}
+
+impl std::error::Error for DerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecdsa::SigningKey;
+
+    #[test]
+    fn roundtrip_signature() {
+        let key = SigningKey::from_seed(b"der");
+        for msg in [&b"a"[..], b"longer message", b""] {
+            let sig = key.sign(msg);
+            let der = encode_signature(&sig);
+            assert_eq!(decode_signature(&der).unwrap(), sig, "msg={msg:?}");
+        }
+    }
+
+    #[test]
+    fn high_bit_gets_zero_pad() {
+        // r with MSB set must be encoded with a leading 0x00.
+        let sig = Signature {
+            r: U256::from_hex("8000000000000000000000000000000000000000000000000000000000000001")
+                .unwrap(),
+            s: U256::from_u64(1),
+        };
+        let der = encode_signature(&sig);
+        // SEQUENCE, len, INTEGER, 33, 0x00, 0x80, ...
+        assert_eq!(der[2], 0x02);
+        assert_eq!(der[3], 33);
+        assert_eq!(der[4], 0x00);
+        assert_eq!(der[5], 0x80);
+        assert_eq!(decode_signature(&der).unwrap(), sig);
+    }
+
+    #[test]
+    fn small_values_encode_minimally() {
+        let sig = Signature { r: U256::from_u64(1), s: U256::from_u64(127) };
+        let der = encode_signature(&sig);
+        assert_eq!(der, vec![0x30, 6, 0x02, 1, 1, 0x02, 1, 127]);
+    }
+
+    #[test]
+    fn rejects_wrong_outer_tag() {
+        assert_eq!(
+            decode_signature(&[0x31, 0x00]),
+            Err(DerError::UnexpectedTag { expected: 0x30, found: 0x31 })
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let key = SigningKey::from_seed(b"trunc");
+        let der = encode_signature(&key.sign(b"m"));
+        for cut in 1..der.len() {
+            assert!(decode_signature(&der[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let key = SigningKey::from_seed(b"trail");
+        let mut der = encode_signature(&key.sign(b"m"));
+        der.push(0x00);
+        assert_eq!(decode_signature(&der), Err(DerError::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_non_minimal_zero_padding() {
+        // INTEGER 0x00 0x01 is non-minimal.
+        let bytes = [0x30, 7, 0x02, 2, 0x00, 0x01, 0x02, 1, 1];
+        assert_eq!(decode_signature(&bytes), Err(DerError::NonMinimalInteger));
+    }
+
+    #[test]
+    fn rejects_negative_integer() {
+        let bytes = [0x30, 6, 0x02, 1, 0x80, 0x02, 1, 1];
+        assert_eq!(decode_signature(&bytes), Err(DerError::NegativeInteger));
+    }
+
+    #[test]
+    fn rejects_empty_integer() {
+        let bytes = [0x30, 5, 0x02, 0, 0x02, 1, 1];
+        assert_eq!(decode_signature(&bytes), Err(DerError::EmptyInteger));
+    }
+}

@@ -1,0 +1,465 @@
+//! ECDSA over P-256 with SHA-256 digests and RFC 6979 deterministic nonces.
+//!
+//! This is Fabric's default signature scheme (paper §2.1.1): clients sign
+//! transaction proposals, endorser peers sign endorsements, and the orderer
+//! signs blocks. On the validator, verification of these signatures is the
+//! single most expensive operation (~40% of total time in the paper's
+//! Figure 3a) and the reason the Blockchain Machine dedicates pipelined
+//! `ecdsa_engine` instances to it.
+
+use std::fmt;
+
+use crate::bigint::{U256, U512};
+use crate::curve::{p256, AffinePoint, JacobianPoint, PointError};
+use crate::sha256::{hmac_sha256, sha256};
+
+/// An ECDSA P-256 private key.
+#[derive(Clone)]
+pub struct SigningKey {
+    d: U256,
+    public: VerifyingKey,
+}
+
+/// An ECDSA P-256 public key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct VerifyingKey {
+    point: AffinePoint,
+}
+
+/// An ECDSA signature as the raw `(r, s)` scalar pair.
+///
+/// Fabric transmits signatures DER-encoded (see [`crate::der`]); the
+/// hardware's `DataProcessor` decodes DER into exactly this fixed-width
+/// form before feeding the `ecdsa_engine` (paper §3.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    /// The `r` component, `1 <= r < n`.
+    pub r: U256,
+    /// The `s` component, `1 <= s < n`.
+    pub s: U256,
+}
+
+impl SigningKey {
+    /// Creates a key from a raw scalar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidScalar`] when `d == 0` or `d >= n`.
+    pub fn from_scalar(d: U256) -> Result<Self, EcdsaError> {
+        let n = &p256().order;
+        if d.is_zero() || &d >= n {
+            return Err(EcdsaError::InvalidScalar);
+        }
+        let point = AffinePoint::generator().mul_scalar(&d);
+        Ok(SigningKey { d, public: VerifyingKey { point } })
+    }
+
+    /// Creates a key from 32 big-endian bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SigningKey::from_scalar`].
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Result<Self, EcdsaError> {
+        Self::from_scalar(U256::from_be_bytes(bytes))
+    }
+
+    /// Generates a key from an RNG.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let mut bytes = [0u8; 32];
+            rng.fill(&mut bytes[..]);
+            if let Ok(k) = Self::from_be_bytes(&bytes) {
+                return k;
+            }
+        }
+    }
+
+    /// Derives a key deterministically from a seed label. Handy for
+    /// reproducible test networks: the same `(org, role, index)` always
+    /// yields the same identity.
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let mut counter = 0u32;
+        loop {
+            let mut material = seed.to_vec();
+            material.extend_from_slice(&counter.to_be_bytes());
+            let digest = sha256(&material);
+            if let Ok(k) = Self::from_be_bytes(&digest) {
+                return k;
+            }
+            counter += 1;
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn verifying_key(&self) -> &VerifyingKey {
+        &self.public
+    }
+
+    /// The raw private scalar as big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.d.to_be_bytes()
+    }
+
+    /// Signs `message`, hashing it with SHA-256 first.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        self.sign_prehashed(&sha256(message))
+    }
+
+    /// Signs a precomputed 32-byte digest using the RFC 6979 deterministic
+    /// nonce, so signing needs no RNG and is reproducible across runs.
+    pub fn sign_prehashed(&self, digest: &[u8; 32]) -> Signature {
+        let c = p256();
+        let n = &c.order;
+        let z = bits2int(digest, n);
+        let mut nonce = Rfc6979::new(&self.d.to_be_bytes(), digest);
+        loop {
+            let k = nonce.next_candidate();
+            if k.is_zero() || &k >= n {
+                continue;
+            }
+            let point = AffinePoint::generator().mul_scalar(&k);
+            let r = c.fp.from_mont(&point.x).rem(n);
+            if r.is_zero() {
+                continue;
+            }
+            // s = k^-1 (z + r d) mod n, all in the Montgomery domain of n.
+            let fd = &c.fn_;
+            let km = fd.to_mont(&k);
+            let kinv = fd.inv_prime(&km).expect("k nonzero");
+            let rm = fd.to_mont(&r);
+            let dm = fd.to_mont(&self.d);
+            let zm = fd.to_mont(&z);
+            let rd = fd.mul(&rm, &dm);
+            let sum = fd.add(&zm, &rd);
+            let s = fd.from_mont(&fd.mul(&kinv, &sum));
+            if s.is_zero() {
+                continue;
+            }
+            return Signature { r, s };
+        }
+    }
+}
+
+impl fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the private scalar.
+        write!(f, "SigningKey(public={:?})", self.public)
+    }
+}
+
+impl VerifyingKey {
+    /// Wraps an existing curve point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidPoint`] for the identity point.
+    pub fn from_point(point: AffinePoint) -> Result<Self, EcdsaError> {
+        if point.infinity {
+            return Err(EcdsaError::InvalidPoint(PointError::NotOnCurve));
+        }
+        Ok(VerifyingKey { point })
+    }
+
+    /// Parses an uncompressed SEC1 encoding (65 bytes, `04 || X || Y`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidPoint`] when decoding fails.
+    pub fn from_sec1_bytes(bytes: &[u8]) -> Result<Self, EcdsaError> {
+        let point = AffinePoint::from_sec1_bytes(bytes).map_err(EcdsaError::InvalidPoint)?;
+        Self::from_point(point)
+    }
+
+    /// Serializes to uncompressed SEC1 (65 bytes).
+    pub fn to_sec1_bytes(&self) -> [u8; 65] {
+        self.point.to_sec1_bytes()
+    }
+
+    /// The underlying curve point.
+    pub fn point(&self) -> &AffinePoint {
+        &self.point
+    }
+
+    /// Verifies `signature` over `message` (SHA-256 hashed internally).
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), EcdsaError> {
+        self.verify_prehashed(&sha256(message), signature)
+    }
+
+    /// Verifies against a precomputed digest. This is the operation the
+    /// paper's `ecdsa_engine` implements: input `{signature, key, hash}`,
+    /// output valid/invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidSignature`] when the signature does not
+    /// verify, or [`EcdsaError::InvalidScalar`] when `r`/`s` are out of
+    /// range.
+    pub fn verify_prehashed(&self, digest: &[u8; 32], sig: &Signature) -> Result<(), EcdsaError> {
+        let c = p256();
+        let n = &c.order;
+        if sig.r.is_zero() || &sig.r >= n || sig.s.is_zero() || &sig.s >= n {
+            return Err(EcdsaError::InvalidScalar);
+        }
+        let z = bits2int(digest, n);
+        let fd = &c.fn_;
+        let sm = fd.to_mont(&sig.s);
+        let sinv = fd.inv_prime(&sm).expect("s nonzero");
+        let u1 = fd.from_mont(&fd.mul(&sinv, &fd.to_mont(&z)));
+        let u2 = fd.from_mont(&fd.mul(&sinv, &fd.to_mont(&sig.r)));
+        let g = AffinePoint::generator().to_jacobian();
+        let q = self.point.to_jacobian();
+        let rp = JacobianPoint::shamir(&u1, &g, &u2, &q);
+        if rp.is_identity() {
+            return Err(EcdsaError::InvalidSignature);
+        }
+        let x = c.fp.from_mont(&rp.to_affine().x).rem(n);
+        if x == sig.r {
+            Ok(())
+        } else {
+            Err(EcdsaError::InvalidSignature)
+        }
+    }
+}
+
+impl fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VerifyingKey({:?})", self.point)
+    }
+}
+
+impl Signature {
+    /// Serializes as 64 raw bytes (`r || s`, big-endian).
+    pub fn to_raw_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses the 64-byte raw form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdsaError::InvalidScalar`] when either half is zero or
+    /// `>= n`.
+    pub fn from_raw_bytes(bytes: &[u8; 64]) -> Result<Self, EcdsaError> {
+        let r = U256::from_be_bytes(&bytes[..32]);
+        let s = U256::from_be_bytes(&bytes[32..]);
+        let n = &p256().order;
+        if r.is_zero() || &r >= n || s.is_zero() || &s >= n {
+            return Err(EcdsaError::InvalidScalar);
+        }
+        Ok(Signature { r, s })
+    }
+}
+
+/// RFC 6979 §2.3.2: convert a digest to an integer mod `n`. For P-256 with
+/// SHA-256 both are 256 bits, so this is a plain reduction.
+fn bits2int(digest: &[u8; 32], n: &U256) -> U256 {
+    U512::from_u256(&U256::from_be_bytes(digest)).rem(n)
+}
+
+/// HMAC-DRBG nonce generator from RFC 6979 §3.2.
+struct Rfc6979 {
+    k: [u8; 32],
+    v: [u8; 32],
+}
+
+impl Rfc6979 {
+    fn new(x: &[u8; 32], digest: &[u8; 32]) -> Self {
+        // h1 is reduced mod n per the RFC (bits2octets).
+        let n = p256().order;
+        let h_reduced = bits2int(digest, &n).to_be_bytes();
+        let mut k = [0u8; 32];
+        let mut v = [1u8; 32]; // V = 0x01 x 32
+        // K = HMAC_K(V || 0x00 || x || h1)
+        let mut msg = Vec::with_capacity(32 + 1 + 32 + 32);
+        msg.extend_from_slice(&v);
+        msg.push(0x00);
+        msg.extend_from_slice(x);
+        msg.extend_from_slice(&h_reduced);
+        k = hmac_sha256(&k, &msg);
+        v = hmac_sha256(&k, &v);
+        // K = HMAC_K(V || 0x01 || x || h1)
+        let mut msg = Vec::with_capacity(32 + 1 + 32 + 32);
+        msg.extend_from_slice(&v);
+        msg.push(0x01);
+        msg.extend_from_slice(x);
+        msg.extend_from_slice(&h_reduced);
+        k = hmac_sha256(&k, &msg);
+        v = hmac_sha256(&k, &v);
+        Rfc6979 { k, v }
+    }
+
+    fn next_candidate(&mut self) -> U256 {
+        self.v = hmac_sha256(&self.k, &self.v);
+        let candidate = U256::from_be_bytes(&self.v);
+        // Prepare for a possible retry: K = HMAC_K(V || 0x00); V = HMAC_K(V)
+        let mut msg = [0u8; 33];
+        msg[..32].copy_from_slice(&self.v);
+        self.k = hmac_sha256(&self.k, &msg);
+        self.v = hmac_sha256(&self.k, &self.v);
+        candidate
+    }
+}
+
+/// Errors from key handling, signing and verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcdsaError {
+    /// A scalar (`d`, `r`, or `s`) was zero or not below the group order.
+    InvalidScalar,
+    /// A public-key point failed to decode or validate.
+    InvalidPoint(PointError),
+    /// The signature did not verify against the key and digest.
+    InvalidSignature,
+}
+
+impl fmt::Display for EcdsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcdsaError::InvalidScalar => write!(f, "scalar out of range for P-256"),
+            EcdsaError::InvalidPoint(e) => write!(f, "invalid public key point: {e}"),
+            EcdsaError::InvalidSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for EcdsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[i * 2..i * 2 + 2], 16).unwrap();
+        }
+        out
+    }
+
+    /// RFC 6979 appendix A.2.5 key pair for P-256.
+    fn rfc6979_key() -> SigningKey {
+        SigningKey::from_be_bytes(&hex32(
+            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn rfc6979_public_key_matches() {
+        let k = rfc6979_key();
+        assert_eq!(
+            k.verifying_key().point().x_bytes(),
+            hex32("60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6")
+        );
+        assert_eq!(
+            k.verifying_key().point().y_bytes(),
+            hex32("7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299")
+        );
+    }
+
+    #[test]
+    fn rfc6979_vector_sample() {
+        // message = "sample", SHA-256
+        let sig = rfc6979_key().sign(b"sample");
+        assert_eq!(
+            sig.r.to_be_bytes(),
+            hex32("efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716")
+        );
+        assert_eq!(
+            sig.s.to_be_bytes(),
+            hex32("f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8")
+        );
+    }
+
+    #[test]
+    fn rfc6979_vector_test() {
+        // message = "test", SHA-256
+        let sig = rfc6979_key().sign(b"test");
+        assert_eq!(
+            sig.r.to_be_bytes(),
+            hex32("f1abb023518351cd71d881567b1ea663ed3efcf6c5132b354f28d3b0b7d38367")
+        );
+        assert_eq!(
+            sig.s.to_be_bytes(),
+            hex32("019f4113742a2b14bd25926b49c649155f267e60d3814b4c0cc84250e46f0083")
+        );
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = SigningKey::from_seed(b"roundtrip");
+        let sig = key.sign(b"hello fabric");
+        assert!(key.verifying_key().verify(b"hello fabric", &sig).is_ok());
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let key = SigningKey::from_seed(b"tamper");
+        let sig = key.sign(b"original");
+        assert_eq!(
+            key.verifying_key().verify(b"modified", &sig),
+            Err(EcdsaError::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_fails() {
+        let key = SigningKey::from_seed(b"tamper2");
+        let mut sig = key.sign(b"msg");
+        sig.s = sig.s.wrapping_add(&U256::ONE);
+        assert!(key.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let key1 = SigningKey::from_seed(b"key1");
+        let key2 = SigningKey::from_seed(b"key2");
+        let sig = key1.sign(b"msg");
+        assert!(key2.verifying_key().verify(b"msg", &sig).is_err());
+    }
+
+    #[test]
+    fn zero_scalar_rejected() {
+        assert_eq!(SigningKey::from_scalar(U256::ZERO).unwrap_err(), EcdsaError::InvalidScalar);
+        let n = p256().order;
+        assert_eq!(SigningKey::from_scalar(n).unwrap_err(), EcdsaError::InvalidScalar);
+    }
+
+    #[test]
+    fn out_of_range_signature_rejected() {
+        let key = SigningKey::from_seed(b"range");
+        let digest = sha256(b"msg");
+        let bad = Signature { r: U256::ZERO, s: U256::ONE };
+        assert_eq!(
+            key.verifying_key().verify_prehashed(&digest, &bad),
+            Err(EcdsaError::InvalidScalar)
+        );
+    }
+
+    #[test]
+    fn raw_bytes_roundtrip() {
+        let key = SigningKey::from_seed(b"raw");
+        let sig = key.sign(b"data");
+        let bytes = sig.to_raw_bytes();
+        assert_eq!(Signature::from_raw_bytes(&bytes).unwrap(), sig);
+    }
+
+    #[test]
+    fn seeded_keys_are_deterministic() {
+        let a = SigningKey::from_seed(b"org1.peer0");
+        let b = SigningKey::from_seed(b"org1.peer0");
+        assert_eq!(a.to_be_bytes(), b.to_be_bytes());
+        let c = SigningKey::from_seed(b"org1.peer1");
+        assert_ne!(a.to_be_bytes(), c.to_be_bytes());
+    }
+
+    #[test]
+    fn sec1_roundtrip_verifying_key() {
+        let key = SigningKey::from_seed(b"sec1");
+        let vk = key.verifying_key();
+        let parsed = VerifyingKey::from_sec1_bytes(&vk.to_sec1_bytes()).unwrap();
+        assert_eq!(*vk, parsed);
+    }
+}

@@ -1,0 +1,46 @@
+//! Cryptographic substrate for the Blockchain Machine reproduction.
+//!
+//! Hyperledger Fabric's validation phase is dominated by 256-bit ECDSA
+//! verification and SHA-256 hashing (paper §2.1.3, Figure 3a: ~40% and
+//! ~10% of validator time respectively). This crate implements that stack
+//! from scratch in pure Rust:
+//!
+//! * [`bigint`] — fixed-width 256-bit integers;
+//! * [`mont`] — Montgomery modular arithmetic for odd 256-bit moduli;
+//! * [`curve`] — NIST P-256 group operations (Jacobian coordinates,
+//!   windowed scalar multiplication, Shamir double-scalar multiplication);
+//! * [`ecdsa`] — ECDSA sign/verify with RFC 6979 deterministic nonces;
+//! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256 and HMAC-SHA-256;
+//! * [`der`] — strict DER encoding of `ECDSA-Sig-Value`;
+//! * [`identity`] — X.509-lite certificates (~860-byte class, like the
+//!   certificates whose redundancy the BMac protocol removes), the 16-bit
+//!   encoded node ids of paper §3.2, and a membership service provider.
+//!
+//! # Example
+//!
+//! ```
+//! use fabric_crypto::identity::{Msp, Role};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut msp = Msp::new(2);
+//! let endorser = msp.issue(0, Role::Peer, 0)?;
+//! let sig = endorser.sign(b"endorsement payload");
+//! endorser.identity.verify(b"endorsement payload", &sig)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod curve;
+pub mod der;
+pub mod ecdsa;
+pub mod identity;
+pub mod mont;
+pub mod sha256;
+
+pub use bigint::U256;
+pub use ecdsa::{EcdsaError, Signature, SigningKey, VerifyingKey};
+pub use identity::{Certificate, Identity, Msp, NodeId, Role, SigningIdentity};
+pub use sha256::{sha256, Sha256};

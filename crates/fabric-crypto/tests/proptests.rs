@@ -1,0 +1,155 @@
+//! Property-based tests for the cryptographic substrate.
+
+use fabric_crypto::bigint::{U256, U512};
+use fabric_crypto::curve::{p256, AffinePoint, JacobianPoint};
+use fabric_crypto::der::{decode_signature, encode_signature};
+use fabric_crypto::ecdsa::{Signature, SigningKey};
+use fabric_crypto::mont::MontgomeryDomain;
+use fabric_crypto::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256)
+}
+
+/// A scalar guaranteed to be a valid, nonzero value mod n.
+fn arb_scalar() -> impl Strategy<Value = U256> {
+    arb_u256().prop_map(|v| {
+        let n = p256().order;
+        let r = v.rem(&n);
+        if r.is_zero() {
+            U256::ONE
+        } else {
+            r
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u256_add_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b), b.wrapping_add(&a));
+    }
+
+    #[test]
+    fn u256_add_sub_inverse(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.wrapping_add(&b).wrapping_sub(&b), a);
+    }
+
+    #[test]
+    fn u256_be_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn u256_hex_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn u256_mul_commutes(a in arb_u256(), b in arb_u256()) {
+        prop_assert_eq!(a.widening_mul(&b).0, b.widening_mul(&a).0);
+    }
+
+    #[test]
+    fn u512_rem_is_canonical(a in any::<[u64; 8]>(), m in arb_u256()) {
+        prop_assume!(!m.is_zero());
+        let r = U512(a).rem(&m);
+        prop_assert!(r < m);
+    }
+
+    #[test]
+    fn mont_mul_matches_schoolbook(a in arb_u256(), b in arb_u256()) {
+        // modulus: the P-256 prime
+        let dom = &p256().fp;
+        let m = *dom.modulus();
+        let ar = a.rem(&m);
+        let br = b.rem(&m);
+        let got = dom.from_mont(&dom.mul(&dom.to_mont(&ar), &dom.to_mont(&br)));
+        let expect = ar.widening_mul(&br).rem(&m);
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mont_inverse_is_inverse(a in arb_scalar()) {
+        let dom = &p256().fn_;
+        let am = dom.to_mont(&a);
+        let inv = dom.inv_prime(&am).unwrap();
+        prop_assert_eq!(dom.from_mont(&dom.mul(&am, &inv)), U256::ONE);
+    }
+
+    #[test]
+    fn generic_domain_roundtrip(mut m in arb_u256(), x in arb_u256()) {
+        m.0[0] |= 1; // force odd
+        prop_assume!(m > U256::ONE);
+        let dom = MontgomeryDomain::new(m);
+        let xr = x.rem(&m);
+        prop_assert_eq!(dom.from_mont(&dom.to_mont(&xr)), xr);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_addition(k1 in 1u64..1000, k2 in 1u64..1000) {
+        let g = AffinePoint::generator().to_jacobian();
+        let lhs = g.mul_scalar(&U256::from_u64(k1 + k2)).to_affine();
+        let rhs = g
+            .mul_scalar(&U256::from_u64(k1))
+            .add(&g.mul_scalar(&U256::from_u64(k2)))
+            .to_affine();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn scalar_mul_stays_on_curve(k in arb_scalar()) {
+        let p = AffinePoint::generator().mul_scalar(&k);
+        prop_assert!(p.is_on_curve());
+    }
+
+    #[test]
+    fn shamir_matches_naive(u1 in arb_scalar(), u2 in arb_scalar(), q in 2u64..500) {
+        let g = AffinePoint::generator().to_jacobian();
+        let qp = g.mul_scalar(&U256::from_u64(q));
+        let fast = JacobianPoint::shamir(&u1, &g, &u2, &qp).to_affine();
+        let slow = g.mul_scalar(&u1).add(&qp.mul_scalar(&u2)).to_affine();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn sha256_streaming_matches_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    #[test]
+    fn ecdsa_roundtrip(seed in any::<[u8; 16]>(), msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let key = SigningKey::from_seed(&seed);
+        let sig = key.sign(&msg);
+        prop_assert!(key.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn ecdsa_rejects_bit_flips(seed in any::<[u8; 16]>(), msg in proptest::collection::vec(any::<u8>(), 1..128), flip in 0usize..1024) {
+        let key = SigningKey::from_seed(&seed);
+        let sig = key.sign(&msg);
+        let mut tampered = msg.clone();
+        let idx = flip % tampered.len();
+        tampered[idx] ^= 1 << (flip % 8);
+        prop_assert!(key.verifying_key().verify(&tampered, &sig).is_err());
+    }
+
+    #[test]
+    fn der_roundtrip(r in arb_scalar(), s in arb_scalar()) {
+        let sig = Signature { r, s };
+        let der = encode_signature(&sig);
+        prop_assert_eq!(decode_signature(&der).unwrap(), sig);
+    }
+
+    #[test]
+    fn der_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = decode_signature(&bytes);
+    }
+}

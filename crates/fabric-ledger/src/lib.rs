@@ -1,0 +1,415 @@
+//! Append-only block ledger with index, hash chain and history database.
+//!
+//! The final step of validation "commits the block ... the entire block is
+//! written to the ledger with its transactions' valid/invalid flags and a
+//! commit hash. ... Internally, the ledger commit writes the block to a
+//! file and updates the block index (stored in an internal database, and
+//! used for checking duplicates)" (paper §2.1.2/§2.1.3). The paper keeps
+//! ledger commit on the CPU in both peers — it is I/O-bound — so both the
+//! software validator and the BMac peer share this implementation.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use fabric_crypto::sha256::Sha256;
+use fabric_protos::messages::{metadata_index, Block};
+use fabric_protos::txflow::block_header_hash;
+use parking_lot::Mutex;
+
+/// Transaction validation codes stored in the block's transactions filter
+/// (a subset of Fabric's `peer.TxValidationCode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxValidationCode {
+    /// Transaction is valid and its writes were committed.
+    Valid,
+    /// A signature failed verification.
+    BadSignature,
+    /// The endorsement policy was not satisfied.
+    EndorsementPolicyFailure,
+    /// An MVCC read conflict invalidated the transaction.
+    MvccReadConflict,
+    /// The envelope could not be decoded.
+    BadPayload,
+}
+
+impl TxValidationCode {
+    /// Byte value stored in the transactions filter (matching Fabric's
+    /// numeric codes where they exist).
+    pub fn code(self) -> u8 {
+        match self {
+            TxValidationCode::Valid => 0,
+            TxValidationCode::BadPayload => 2,
+            TxValidationCode::BadSignature => 4,
+            TxValidationCode::EndorsementPolicyFailure => 10,
+            TxValidationCode::MvccReadConflict => 11,
+        }
+    }
+
+    /// Whether this code marks the transaction valid.
+    pub fn is_valid(self) -> bool {
+        self == TxValidationCode::Valid
+    }
+}
+
+/// A committed block with its validation results.
+#[derive(Debug, Clone)]
+pub struct CommittedBlock {
+    /// The block, with metadata slots filled in at commit.
+    pub block: Block,
+    /// Hash of the block header.
+    pub header_hash: [u8; 32],
+    /// Per-transaction validation flags.
+    pub tx_filter: Vec<TxValidationCode>,
+    /// Running commit hash after this block.
+    pub commit_hash: [u8; 32],
+}
+
+/// Errors appending to the ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The block number is not `height()`.
+    OutOfOrder {
+        /// Expected next block number.
+        expected: u64,
+        /// Number of the rejected block.
+        got: u64,
+    },
+    /// `previous_hash` does not match the chain tip.
+    BrokenChain,
+    /// A block with this number was already committed.
+    Duplicate(u64),
+    /// The tx filter length does not match the block's tx count.
+    FilterMismatch,
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::OutOfOrder { expected, got } => {
+                write!(f, "expected block {expected}, got {got}")
+            }
+            LedgerError::BrokenChain => write!(f, "previous_hash does not match chain tip"),
+            LedgerError::Duplicate(n) => write!(f, "duplicate block {n}"),
+            LedgerError::FilterMismatch => {
+                write!(f, "validation filter length does not match transaction count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// The append-only block store + index. Thread-safe and cheaply clonable
+/// (clones share the chain).
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    inner: Arc<Mutex<LedgerInner>>,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    blocks: Vec<CommittedBlock>,
+    /// Block index: tx_id -> (block number, tx index); used for duplicate
+    /// detection on commit.
+    tx_index: HashMap<String, (u64, usize)>,
+    history: HistoryDb,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Ledger::default()
+    }
+
+    /// Current chain height (number of the next block).
+    pub fn height(&self) -> u64 {
+        self.inner.lock().blocks.len() as u64
+    }
+
+    /// Hash of the chain tip's header, or zeros for an empty chain.
+    pub fn tip_hash(&self) -> [u8; 32] {
+        let g = self.inner.lock();
+        g.blocks.last().map(|b| b.header_hash).unwrap_or([0u8; 32])
+    }
+
+    /// Running commit hash at the tip (zeros for an empty chain).
+    pub fn tip_commit_hash(&self) -> [u8; 32] {
+        let g = self.inner.lock();
+        g.blocks.last().map(|b| b.commit_hash).unwrap_or([0u8; 32])
+    }
+
+    /// Commits a validated block: stamps the transactions filter and
+    /// commit hash into the metadata, indexes tx ids, and appends.
+    ///
+    /// `tx_ids` pairs with `tx_filter` index-by-index and is used to build
+    /// the duplicate-detection index and the history database.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LedgerError`] variant: out-of-order blocks, chain breaks,
+    /// duplicates, or a filter length mismatch.
+    pub fn commit_block(
+        &self,
+        mut block: Block,
+        tx_ids: &[String],
+        tx_filter: Vec<TxValidationCode>,
+        modified_keys: &[Vec<String>],
+    ) -> Result<CommittedBlock, LedgerError> {
+        let mut g = self.inner.lock();
+        let expected = g.blocks.len() as u64;
+        if block.header.number != expected {
+            return Err(if block.header.number < expected {
+                LedgerError::Duplicate(block.header.number)
+            } else {
+                LedgerError::OutOfOrder { expected, got: block.header.number }
+            });
+        }
+        let tip = g.blocks.last().map(|b| b.header_hash).unwrap_or([0u8; 32]);
+        if block.header.previous_hash != tip {
+            return Err(LedgerError::BrokenChain);
+        }
+        if tx_filter.len() != block.data.data.len() || tx_ids.len() != tx_filter.len() {
+            return Err(LedgerError::FilterMismatch);
+        }
+
+        let filter_bytes: Vec<u8> = tx_filter.iter().map(|c| c.code()).collect();
+        let prev_commit = g.blocks.last().map(|b| b.commit_hash).unwrap_or([0u8; 32]);
+        let commit_hash = compute_commit_hash(&prev_commit, &block, &filter_bytes);
+        block.metadata.metadata[metadata_index::TRANSACTIONS_FILTER] = filter_bytes;
+        block.metadata.metadata[metadata_index::COMMIT_HASH] = commit_hash.to_vec();
+
+        let header_hash = block_header_hash(&block.header);
+        for (i, tx_id) in tx_ids.iter().enumerate() {
+            g.tx_index.insert(tx_id.clone(), (expected, i));
+        }
+        for (i, keys) in modified_keys.iter().enumerate() {
+            if tx_filter[i] == TxValidationCode::Valid {
+                for key in keys {
+                    g.history.record(key, expected, i as u64);
+                }
+            }
+        }
+        let committed = CommittedBlock { block, header_hash, tx_filter, commit_hash };
+        g.blocks.push(committed.clone());
+        Ok(committed)
+    }
+
+    /// Fetches a committed block by number.
+    pub fn block(&self, number: u64) -> Option<CommittedBlock> {
+        self.inner.lock().blocks.get(number as usize).cloned()
+    }
+
+    /// Looks up which block and position committed `tx_id` (the duplicate
+    /// check of ledger commit).
+    pub fn find_tx(&self, tx_id: &str) -> Option<(u64, usize)> {
+        self.inner.lock().tx_index.get(tx_id).copied()
+    }
+
+    /// Returns the modification history `(block, tx)` for a state key.
+    pub fn key_history(&self, key: &str) -> Vec<(u64, u64)> {
+        self.inner.lock().history.of(key)
+    }
+
+    /// Verifies the whole hash chain; returns the first bad link.
+    pub fn verify_chain(&self) -> Result<(), u64> {
+        let g = self.inner.lock();
+        let mut prev = [0u8; 32];
+        for cb in g.blocks.iter() {
+            if cb.block.header.previous_hash != prev {
+                return Err(cb.block.header.number);
+            }
+            prev = cb.header_hash;
+        }
+        Ok(())
+    }
+}
+
+/// Running commit hash: `sha256(prev ++ header ++ filter)`. Both peer
+/// implementations must agree on it — the paper used commit-hash equality
+/// to confirm BMac did not alter validation behaviour (§4.1).
+pub fn compute_commit_hash(prev: &[u8; 32], block: &Block, filter: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(prev);
+    h.update(&block.header.marshal());
+    h.update(filter);
+    h.finalize()
+}
+
+/// Tracks "which keys have been modified by which blocks and
+/// transactions" (paper §2.1.2 step 5).
+#[derive(Debug, Default)]
+pub struct HistoryDb {
+    entries: HashMap<String, Vec<(u64, u64)>>,
+}
+
+impl HistoryDb {
+    /// Creates an empty history database.
+    pub fn new() -> Self {
+        HistoryDb::default()
+    }
+
+    /// Records that `key` was modified by `(block, tx)`.
+    pub fn record(&mut self, key: &str, block: u64, tx: u64) {
+        self.entries.entry(key.to_string()).or_default().push((block, tx));
+    }
+
+    /// All modifications of `key`, oldest first.
+    pub fn of(&self, key: &str) -> Vec<(u64, u64)> {
+        self.entries.get(key).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::identity::{Msp, Role};
+    use fabric_protos::txflow::{build_block, build_transaction, TxParams};
+
+    fn make_block(number: u64, prev: [u8; 32], ntx: usize) -> (Block, Vec<String>) {
+        let mut msp = Msp::new(1);
+        let client = msp.issue(0, Role::Client, 0).unwrap();
+        let endorser = msp.issue(0, Role::Peer, 0).unwrap();
+        let orderer = msp.issue(0, Role::Orderer, 0).unwrap();
+        let mut envs = Vec::new();
+        let mut ids = Vec::new();
+        for i in 0..ntx {
+            let built = build_transaction(
+                &client,
+                &[&endorser],
+                &TxParams {
+                    channel_id: "ch",
+                    chaincode: "cc",
+                    reads: vec![],
+                    writes: vec![(format!("k{number}_{i}"), vec![1])],
+                    nonce: vec![number as u8, i as u8],
+                    timestamp: 0,
+                },
+            );
+            envs.push(built.envelope);
+            ids.push(built.tx_id);
+        }
+        (build_block(number, &prev, envs, &orderer), ids)
+    }
+
+    #[test]
+    fn commit_and_fetch() {
+        let ledger = Ledger::new();
+        let (block, ids) = make_block(0, [0u8; 32], 2);
+        let committed = ledger
+            .commit_block(
+                block,
+                &ids,
+                vec![TxValidationCode::Valid, TxValidationCode::MvccReadConflict],
+                &[vec!["k0_0".into()], vec!["k0_1".into()]],
+            )
+            .unwrap();
+        assert_eq!(ledger.height(), 1);
+        assert_eq!(ledger.tip_hash(), committed.header_hash);
+        let fetched = ledger.block(0).unwrap();
+        assert_eq!(
+            fetched.block.metadata.metadata[metadata_index::TRANSACTIONS_FILTER],
+            vec![0u8, 11]
+        );
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_rejected() {
+        let ledger = Ledger::new();
+        let (b0, ids) = make_block(0, [0u8; 32], 1);
+        ledger
+            .commit_block(b0.clone(), &ids, vec![TxValidationCode::Valid], &[vec![]])
+            .unwrap();
+        assert_eq!(
+            ledger
+                .commit_block(b0, &ids, vec![TxValidationCode::Valid], &[vec![]])
+                .unwrap_err(),
+            LedgerError::Duplicate(0)
+        );
+        let (b5, ids5) = make_block(5, ledger.tip_hash(), 1);
+        assert_eq!(
+            ledger
+                .commit_block(b5, &ids5, vec![TxValidationCode::Valid], &[vec![]])
+                .unwrap_err(),
+            LedgerError::OutOfOrder { expected: 1, got: 5 }
+        );
+    }
+
+    #[test]
+    fn chain_break_rejected() {
+        let ledger = Ledger::new();
+        let (b0, ids) = make_block(0, [0u8; 32], 1);
+        ledger
+            .commit_block(b0, &ids, vec![TxValidationCode::Valid], &[vec![]])
+            .unwrap();
+        let (b1_bad, ids1) = make_block(1, [9u8; 32], 1);
+        assert_eq!(
+            ledger
+                .commit_block(b1_bad, &ids1, vec![TxValidationCode::Valid], &[vec![]])
+                .unwrap_err(),
+            LedgerError::BrokenChain
+        );
+    }
+
+    #[test]
+    fn filter_mismatch_rejected() {
+        let ledger = Ledger::new();
+        let (b0, ids) = make_block(0, [0u8; 32], 2);
+        assert_eq!(
+            ledger
+                .commit_block(b0, &ids, vec![TxValidationCode::Valid], &[vec![], vec![]])
+                .unwrap_err(),
+            LedgerError::FilterMismatch
+        );
+    }
+
+    #[test]
+    fn tx_index_finds_transactions() {
+        let ledger = Ledger::new();
+        let (b0, ids) = make_block(0, [0u8; 32], 3);
+        ledger
+            .commit_block(
+                b0,
+                &ids,
+                vec![TxValidationCode::Valid; 3],
+                &[vec![], vec![], vec![]],
+            )
+            .unwrap();
+        assert_eq!(ledger.find_tx(&ids[1]), Some((0, 1)));
+        assert_eq!(ledger.find_tx("nope"), None);
+    }
+
+    #[test]
+    fn commit_hash_chains() {
+        let ledger = Ledger::new();
+        let (b0, ids0) = make_block(0, [0u8; 32], 1);
+        let c0 = ledger
+            .commit_block(b0, &ids0, vec![TxValidationCode::Valid], &[vec![]])
+            .unwrap();
+        let (b1, ids1) = make_block(1, ledger.tip_hash(), 1);
+        let c1 = ledger
+            .commit_block(b1, &ids1, vec![TxValidationCode::Valid], &[vec![]])
+            .unwrap();
+        assert_ne!(c0.commit_hash, c1.commit_hash);
+        assert_eq!(ledger.tip_commit_hash(), c1.commit_hash);
+        assert!(ledger.verify_chain().is_ok());
+    }
+
+    #[test]
+    fn history_records_only_valid_txs() {
+        let ledger = Ledger::new();
+        let (b0, ids) = make_block(0, [0u8; 32], 2);
+        ledger
+            .commit_block(
+                b0,
+                &ids,
+                vec![TxValidationCode::Valid, TxValidationCode::MvccReadConflict],
+                &[vec!["a".into()], vec!["b".into()]],
+            )
+            .unwrap();
+        assert_eq!(ledger.key_history("a"), vec![(0, 0)]);
+        assert!(ledger.key_history("b").is_empty());
+    }
+}

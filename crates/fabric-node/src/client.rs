@@ -1,0 +1,220 @@
+//! The application client: proposal, endorsement gathering, submission.
+//!
+//! "A client creates a transaction and sends it to a number of endorser
+//! peers ... After the client has gathered enough endorsements, it
+//! submits the transaction with its endorsements to the ordering service"
+//! (paper §2.1.1). The set of endorsers is chosen from the chaincode's
+//! endorsement policy principals.
+
+use fabric_crypto::identity::SigningIdentity;
+use fabric_protos::txflow::{build_transaction, BuiltTransaction, TxParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::chaincode::SimulationResult;
+use crate::endorser::{EndorseError, EndorserPeer};
+
+/// Errors from the client's endorsement flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No endorsers were provided.
+    NoEndorsers,
+    /// An endorser failed to simulate the proposal.
+    Endorse(EndorseError),
+    /// Two endorsers produced different read/write sets — the proposal is
+    /// non-deterministic or state has diverged.
+    EndorsementMismatch,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::NoEndorsers => write!(f, "no endorsers supplied"),
+            ClientError::Endorse(e) => write!(f, "endorsement failed: {e}"),
+            ClientError::EndorsementMismatch => {
+                write!(f, "endorsers disagree on simulation results")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// An application client with a signing identity and a nonce source.
+#[derive(Debug)]
+pub struct Client {
+    identity: SigningIdentity,
+    channel: String,
+    rng: StdRng,
+    txs_created: u64,
+}
+
+impl Client {
+    /// Creates a client on `channel` with a deterministic nonce stream.
+    pub fn new(identity: SigningIdentity, channel: impl Into<String>, seed: u64) -> Self {
+        Client {
+            identity,
+            channel: channel.into(),
+            rng: StdRng::seed_from_u64(seed),
+            txs_created: 0,
+        }
+    }
+
+    /// The client's identity.
+    pub fn identity(&self) -> &SigningIdentity {
+        &self.identity
+    }
+
+    /// Full endorsement flow: simulate on every endorser, check the
+    /// results agree, and assemble the signed envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when no endorsers are given, simulation fails, or
+    /// endorsers disagree.
+    pub fn create_transaction(
+        &mut self,
+        endorsers: &mut [&mut EndorserPeer],
+        chaincode: &str,
+        function: &str,
+        args: &[String],
+    ) -> Result<BuiltTransaction, ClientError> {
+        if endorsers.is_empty() {
+            return Err(ClientError::NoEndorsers);
+        }
+        let mut results: Vec<SimulationResult> = Vec::with_capacity(endorsers.len());
+        for e in endorsers.iter_mut() {
+            results.push(
+                e.simulate(chaincode, function, args)
+                    .map_err(ClientError::Endorse)?,
+            );
+        }
+        let first = &results[0];
+        for other in &results[1..] {
+            if other.reads != first.reads || other.writes != first.writes {
+                return Err(ClientError::EndorsementMismatch);
+            }
+        }
+        Ok(self.assemble(endorsers, chaincode, first.clone()))
+    }
+
+    /// Builds the envelope from an existing simulation result (used by
+    /// workload generators that already computed the rwset).
+    pub fn assemble(
+        &mut self,
+        endorsers: &[&mut EndorserPeer],
+        chaincode: &str,
+        sim: SimulationResult,
+    ) -> BuiltTransaction {
+        let mut nonce = vec![0u8; 24];
+        self.rng.fill(&mut nonce[..]);
+        self.txs_created += 1;
+        let endorser_ids: Vec<&SigningIdentity> =
+            endorsers.iter().map(|e| e.identity()).collect();
+        // The state DB versions become wire-format rwset versions.
+        let reads = sim
+            .reads
+            .into_iter()
+            .map(|(k, h)| {
+                (
+                    k,
+                    h.map(|h| fabric_protos::Version {
+                        block_num: h.block_num,
+                        tx_num: h.tx_num,
+                    }),
+                )
+            })
+            .collect();
+        build_transaction(
+            &self.identity,
+            &endorser_ids,
+            &TxParams {
+                channel_id: &self.channel,
+                chaincode,
+                reads,
+                writes: sim.writes,
+                nonce,
+                timestamp: 1_700_000_000 + self.txs_created,
+            },
+        )
+    }
+
+    /// Transactions created so far.
+    pub fn txs_created(&self) -> u64 {
+        self.txs_created
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::KvChaincode;
+    use fabric_crypto::identity::{Msp, Role};
+    use fabric_protos::txflow::decode_transaction;
+
+    fn setup() -> (Client, EndorserPeer, EndorserPeer) {
+        let mut msp = Msp::new(2);
+        let client_ident = msp.issue(0, Role::Client, 0).unwrap();
+        let e1_ident = msp.issue(0, Role::Peer, 0).unwrap();
+        let e2_ident = msp.issue(1, Role::Peer, 0).unwrap();
+        let mut e1 = EndorserPeer::new(e1_ident);
+        let mut e2 = EndorserPeer::new(e2_ident);
+        e1.install_chaincode(Box::new(KvChaincode::new("kv")));
+        e2.install_chaincode(Box::new(KvChaincode::new("kv")));
+        (Client::new(client_ident, "mychannel", 1), e1, e2)
+    }
+
+    #[test]
+    fn endorsed_transaction_decodes_with_two_endorsements() {
+        let (mut client, mut e1, mut e2) = setup();
+        let built = client
+            .create_transaction(
+                &mut [&mut e1, &mut e2],
+                "kv",
+                "put",
+                &["k".into(), "v".into()],
+            )
+            .unwrap();
+        let decoded = decode_transaction(&built.envelope).unwrap();
+        assert_eq!(decoded.endorsements.len(), 2);
+        assert_eq!(decoded.chaincode, "kv");
+        assert_eq!(decoded.channel_id, "mychannel");
+    }
+
+    #[test]
+    fn mismatched_endorser_state_is_detected() {
+        let (mut client, mut e1, mut e2) = setup();
+        // Skew e2's database so simulations disagree on read versions.
+        e2.commit_writes(1, &[(0, vec![("k".into(), b"x".to_vec())])]);
+        let err = client
+            .create_transaction(
+                &mut [&mut e1, &mut e2],
+                "kv",
+                "put",
+                &["k".into(), "v".into()],
+            )
+            .unwrap_err();
+        assert_eq!(err, ClientError::EndorsementMismatch);
+    }
+
+    #[test]
+    fn no_endorsers_rejected() {
+        let (mut client, _, _) = setup();
+        assert_eq!(
+            client.create_transaction(&mut [], "kv", "put", &[]).unwrap_err(),
+            ClientError::NoEndorsers
+        );
+    }
+
+    #[test]
+    fn nonces_differ_between_transactions() {
+        let (mut client, mut e1, _) = setup();
+        let a = client
+            .create_transaction(&mut [&mut e1], "kv", "put", &["k".into(), "1".into()])
+            .unwrap();
+        let b = client
+            .create_transaction(&mut [&mut e1], "kv", "put", &["k".into(), "1".into()])
+            .unwrap();
+        assert_ne!(a.tx_id, b.tx_id);
+    }
+}

@@ -1,0 +1,402 @@
+//! Fabric network assembly: organizations, peers, clients, orderer.
+//!
+//! Builds the paper's experimental topology (Figure 8): N organizations,
+//! each with a certificate authority and endorser peer(s), a Raft
+//! ordering service, and clients submitting transactions — everything a
+//! validator peer (software-only or BMac) consumes.
+
+use fabric_crypto::identity::{Msp, Role, SigningIdentity};
+use fabric_policy::Policy;
+use fabric_protos::messages::Block;
+
+use crate::chaincode::{Chaincode, SimulationResult};
+use crate::client::{Client, ClientError};
+use crate::endorser::{EndorserPeer, TxWrites};
+use crate::orderer::{OrdererConfig, OrderingService};
+
+/// Builder for [`FabricNetwork`].
+///
+/// ```
+/// use fabric_node::network::FabricNetworkBuilder;
+/// use fabric_policy::parse;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let network = FabricNetworkBuilder::new()
+///     .orgs(2)
+///     .endorsers_per_org(1)
+///     .block_size(4)
+///     .chaincode("kv", parse("2-outof-2 orgs")?)
+///     .build();
+/// assert_eq!(network.num_orgs(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FabricNetworkBuilder {
+    orgs: u8,
+    endorsers_per_org: u8,
+    clients: usize,
+    block_size: usize,
+    orderer_cluster: usize,
+    channel: String,
+    chaincodes: Vec<(String, Policy)>,
+    seed: u64,
+}
+
+impl Default for FabricNetworkBuilder {
+    fn default() -> Self {
+        FabricNetworkBuilder {
+            orgs: 2,
+            endorsers_per_org: 1,
+            clients: 1,
+            block_size: 150,
+            orderer_cluster: 1,
+            channel: "mychannel".into(),
+            chaincodes: Vec::new(),
+            seed: 7,
+        }
+    }
+}
+
+impl FabricNetworkBuilder {
+    /// Creates a builder with the paper's default topology (2 orgs, one
+    /// endorser each, single orderer, block size 150).
+    pub fn new() -> Self {
+        FabricNetworkBuilder::default()
+    }
+
+    /// Number of organizations.
+    pub fn orgs(mut self, n: u8) -> Self {
+        self.orgs = n;
+        self
+    }
+
+    /// Endorser peers per organization.
+    pub fn endorsers_per_org(mut self, n: u8) -> Self {
+        self.endorsers_per_org = n;
+        self
+    }
+
+    /// Number of clients (Caliper ran 16).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n.max(1);
+        self
+    }
+
+    /// Transactions per block.
+    pub fn block_size(mut self, n: usize) -> Self {
+        self.block_size = n.max(1);
+        self
+    }
+
+    /// Raft ordering-service size.
+    pub fn orderer_cluster(mut self, n: usize) -> Self {
+        self.orderer_cluster = n.max(1);
+        self
+    }
+
+    /// Channel name.
+    pub fn channel(mut self, name: impl Into<String>) -> Self {
+        self.channel = name.into();
+        self
+    }
+
+    /// Registers a chaincode name with its endorsement policy. The
+    /// chaincode implementation is installed on peers via
+    /// [`FabricNetwork::install_chaincode`].
+    pub fn chaincode(mut self, name: impl Into<String>, policy: Policy) -> Self {
+        self.chaincodes.push((name.into(), policy));
+        self
+    }
+
+    /// RNG seed for nonces and Raft timers.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Assembles the network: issues identities, spawns peers/clients,
+    /// boots the ordering service.
+    pub fn build(self) -> FabricNetwork {
+        let mut msp = Msp::new(self.orgs);
+        let mut endorsers = Vec::new();
+        for org in 0..self.orgs {
+            for seq in 0..self.endorsers_per_org {
+                let ident = msp.issue(org, Role::Peer, seq).expect("issue endorser");
+                endorsers.push(EndorserPeer::new(ident));
+            }
+        }
+        let orderer_ident = msp.issue(0, Role::Orderer, 0).expect("issue orderer");
+        let ordering = OrderingService::new(
+            orderer_ident,
+            OrdererConfig {
+                block_size: self.block_size,
+                cluster_size: self.orderer_cluster,
+                seed: self.seed,
+            },
+        );
+        let clients = (0..self.clients)
+            .map(|i| {
+                let ident = msp
+                    .issue(
+                        (i as u8) % self.orgs.max(1),
+                        Role::Client,
+                        (i / self.orgs.max(1) as usize) as u8,
+                    )
+                    .expect("issue client");
+                Client::new(ident, self.channel.clone(), self.seed ^ (i as u64) << 16)
+            })
+            .collect();
+        FabricNetwork {
+            msp,
+            endorsers,
+            endorsers_per_org: self.endorsers_per_org,
+            clients,
+            ordering,
+            channel: self.channel,
+            chaincodes: self.chaincodes,
+        }
+    }
+}
+
+/// A complete Fabric network minus the validator peers (which are the
+/// subject of the experiments and attach separately).
+#[derive(Debug)]
+pub struct FabricNetwork {
+    msp: Msp,
+    endorsers: Vec<EndorserPeer>,
+    endorsers_per_org: u8,
+    clients: Vec<Client>,
+    ordering: OrderingService,
+    channel: String,
+    chaincodes: Vec<(String, Policy)>,
+}
+
+impl FabricNetwork {
+    /// Number of organizations.
+    pub fn num_orgs(&self) -> u8 {
+        self.msp.num_orgs()
+    }
+
+    /// The membership service provider.
+    pub fn msp(&self) -> &Msp {
+        &self.msp
+    }
+
+    /// Channel name.
+    pub fn channel(&self) -> &str {
+        &self.channel
+    }
+
+    /// The endorsement policy registered for a chaincode.
+    pub fn policy(&self, chaincode: &str) -> Option<&Policy> {
+        self.chaincodes
+            .iter()
+            .find(|(name, _)| name == chaincode)
+            .map(|(_, p)| p)
+    }
+
+    /// All registered `(chaincode, policy)` pairs.
+    pub fn chaincodes(&self) -> &[(String, Policy)] {
+        &self.chaincodes
+    }
+
+    /// Installs a chaincode implementation on every endorser via the
+    /// provided factory.
+    pub fn install_chaincode<F>(&mut self, factory: F)
+    where
+        F: Fn() -> Box<dyn Chaincode>,
+    {
+        for e in &mut self.endorsers {
+            e.install_chaincode(factory());
+        }
+    }
+
+    /// The ordering service.
+    pub fn ordering_mut(&mut self) -> &mut OrderingService {
+        &mut self.ordering
+    }
+
+    /// The lead orderer's identity.
+    pub fn orderer_identity(&self) -> &SigningIdentity {
+        self.ordering.identity()
+    }
+
+    /// A shared handle to endorser 0's state database (useful as the
+    /// reference state in tests).
+    pub fn reference_db(&self) -> fabric_statedb::StateDb {
+        self.endorsers[0].state_db()
+    }
+
+    /// Submits one invocation through the full flow: pick endorsers from
+    /// the policy, simulate, sign, order. Returns any blocks cut.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] from endorsement; unknown chaincodes are a
+    /// [`ClientError::Endorse`] failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `client` is out of range.
+    pub fn submit_invocation(
+        &mut self,
+        client: usize,
+        chaincode: &str,
+        function: &str,
+        args: &[String],
+    ) -> Result<Vec<Block>, ClientError> {
+        let policy = self
+            .chaincodes
+            .iter()
+            .find(|(name, _)| name == chaincode)
+            .map(|(_, p)| p.clone())
+            .unwrap_or_else(|| Policy::k_out_of_n_orgs(1, 1));
+        // One endorsement per principal org in the policy (the paper's
+        // workloads carry one endorsement per organization listed).
+        let principal_orgs: Vec<u8> = policy.principals().iter().map(|p| p.org).collect();
+        let endorsers_per_org = self.endorsers_per_org.max(1) as usize;
+        let mut indices: Vec<usize> = principal_orgs
+            .iter()
+            .map(|&org| org as usize * endorsers_per_org)
+            .filter(|&i| i < self.endorsers.len())
+            .collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let client_ref = &mut self.clients[client];
+        // Simulate on each selected endorser and compare.
+        let mut sims: Vec<SimulationResult> = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            sims.push(
+                self.endorsers[i]
+                    .simulate(chaincode, function, args)
+                    .map_err(ClientError::Endorse)?,
+            );
+        }
+        if sims.is_empty() {
+            return Err(ClientError::NoEndorsers);
+        }
+        let first = sims[0].clone();
+        if sims[1..]
+            .iter()
+            .any(|s| s.reads != first.reads || s.writes != first.writes)
+        {
+            return Err(ClientError::EndorsementMismatch);
+        }
+        // Borrow the selected endorsers mutably for signing.
+        let mut selected: Vec<&mut EndorserPeer> = Vec::with_capacity(indices.len());
+        let mut rest: &mut [EndorserPeer] = &mut self.endorsers;
+        let mut consumed = 0usize;
+        for &i in &indices {
+            let (_, tail) = rest.split_at_mut(i - consumed);
+            let (head, tail) = tail.split_at_mut(1);
+            selected.push(&mut head[0]);
+            rest = tail;
+            consumed = i + 1;
+        }
+        let built = client_ref.assemble(&selected, chaincode, first);
+        self.ordering
+            .submit(built.envelope)
+            .map_err(|_| ClientError::NoEndorsers)
+    }
+
+    /// Applies committed writes to every endorser's state database
+    /// (endorsers commit blocks too).
+    pub fn commit_to_endorsers(&mut self, block_num: u64, tx_writes: &[TxWrites]) {
+        for e in &mut self.endorsers {
+            e.commit_writes(block_num, tx_writes);
+        }
+    }
+
+    /// Cuts a partial block (Fabric's batch timeout).
+    pub fn cut_partial_block(&mut self) -> Option<Block> {
+        self.ordering.cut_partial_block()
+    }
+
+    /// Number of endorser peers.
+    pub fn num_endorsers(&self) -> usize {
+        self.endorsers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chaincode::KvChaincode;
+    use fabric_policy::parse;
+    use fabric_protos::txflow::decode_block;
+
+    fn kv_network(block_size: usize) -> FabricNetwork {
+        let mut n = FabricNetworkBuilder::new()
+            .orgs(2)
+            .block_size(block_size)
+            .chaincode("kv", parse("2-outof-2 orgs").unwrap())
+            .build();
+        n.install_chaincode(|| Box::new(KvChaincode::new("kv")));
+        n
+    }
+
+    #[test]
+    fn full_flow_produces_decodable_blocks() {
+        let mut net = kv_network(2);
+        assert!(net
+            .submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+            .unwrap()
+            .is_empty());
+        let blocks = net
+            .submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
+            .unwrap();
+        assert_eq!(blocks.len(), 1);
+        let decoded = decode_block(&blocks[0].marshal()).unwrap();
+        assert_eq!(decoded.txs.len(), 2);
+        // 2of2 policy -> 2 endorsements per tx
+        assert_eq!(decoded.txs[0].endorsements.len(), 2);
+        // Orderer signature verifies.
+        assert!(decoded
+            .orderer_cert
+            .public_key
+            .verify(&decoded.orderer_signed_message, &decoded.orderer_signature)
+            .is_ok());
+    }
+
+    #[test]
+    fn policy_drives_endorser_selection() {
+        let mut net = FabricNetworkBuilder::new()
+            .orgs(3)
+            .block_size(1)
+            .chaincode("kv", parse("2of3").unwrap())
+            .build();
+        net.install_chaincode(|| Box::new(KvChaincode::new("kv")));
+        let blocks = net
+            .submit_invocation(0, "kv", "put", &["x".into(), "1".into()])
+            .unwrap();
+        let decoded = decode_block(&blocks[0].marshal()).unwrap();
+        // 2of3 policy transactions carry 3 endorsements (one per org).
+        assert_eq!(decoded.txs[0].endorsements.len(), 3);
+    }
+
+    #[test]
+    fn endorser_dbs_stay_in_sync_through_commits() {
+        let mut net = kv_network(1);
+        let blocks = net
+            .submit_invocation(0, "kv", "put", &["k".into(), "1".into()])
+            .unwrap();
+        assert_eq!(blocks.len(), 1);
+        net.commit_to_endorsers(0, &[(0, vec![("k".into(), b"1".to_vec())])]);
+        // Next invocation reads the committed version on all endorsers —
+        // no mismatch error.
+        let blocks = net
+            .submit_invocation(0, "kv", "put", &["k".into(), "2".into()])
+            .unwrap();
+        assert_eq!(blocks.len(), 1);
+    }
+
+    #[test]
+    fn unknown_chaincode_fails_cleanly() {
+        let mut net = kv_network(1);
+        let err = net
+            .submit_invocation(0, "ghost", "put", &["a".into(), "1".into()])
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Endorse(_)));
+    }
+}

@@ -1,0 +1,224 @@
+//! The ordering service: Raft-ordered envelopes cut into signed blocks.
+//!
+//! "The ordering service consists of one or more orderers, which use a
+//! consensus mechanism to establish a total order for the transactions"
+//! (paper §2.1.1). Envelopes are proposed to a Raft cluster; the lead
+//! orderer cuts committed envelopes into blocks of a configured size and
+//! signs them. The paper's evaluation runs a single-orderer Raft service
+//! (§4.1); multi-orderer operation is exercised by the integration tests.
+
+use fabric_crypto::identity::SigningIdentity;
+use fabric_protos::messages::Block;
+use fabric_protos::txflow::{block_header_hash, build_block};
+use fabric_raft::cluster::Cluster;
+use fabric_raft::ProposeError;
+
+/// Configuration of the ordering service.
+#[derive(Debug, Clone)]
+pub struct OrdererConfig {
+    /// Transactions per block ("block size" throughout the paper's
+    /// evaluation).
+    pub block_size: usize,
+    /// Number of Raft orderer nodes (1 in the paper's setup).
+    pub cluster_size: usize,
+    /// Seed for the Raft cluster's randomized timers.
+    pub seed: u64,
+}
+
+impl Default for OrdererConfig {
+    fn default() -> Self {
+        OrdererConfig { block_size: 150, cluster_size: 1, seed: 7 }
+    }
+}
+
+/// The ordering service.
+///
+/// Multi-node mode drives a full [`Cluster`]; the common single-orderer
+/// mode skips consensus messaging (a 1-node Raft group commits
+/// immediately), matching the paper's deployment.
+#[derive(Debug)]
+pub struct OrderingService {
+    identity: SigningIdentity,
+    config: OrdererConfig,
+    cluster: Option<Cluster>,
+    /// Envelopes committed by consensus but not yet cut into a block.
+    committed_pending: Vec<Vec<u8>>,
+    /// Envelopes submitted in single-orderer mode.
+    next_block_number: u64,
+    previous_hash: [u8; 32],
+    blocks_cut: u64,
+}
+
+impl OrderingService {
+    /// Creates the service with the lead orderer's identity.
+    pub fn new(identity: SigningIdentity, config: OrdererConfig) -> Self {
+        let cluster = if config.cluster_size > 1 {
+            let mut c = Cluster::new(config.cluster_size, config.seed);
+            c.run_until_leader(1000).expect("raft cluster elects a leader");
+            Some(c)
+        } else {
+            None
+        };
+        OrderingService {
+            identity,
+            config,
+            cluster,
+            committed_pending: Vec::new(),
+            next_block_number: 0,
+            previous_hash: [0u8; 32],
+            blocks_cut: 0,
+        }
+    }
+
+    /// Number of transactions per block.
+    pub fn block_size(&self) -> usize {
+        self.config.block_size
+    }
+
+    /// The lead orderer's identity.
+    pub fn identity(&self) -> &SigningIdentity {
+        &self.identity
+    }
+
+    /// Submits a marshaled envelope for ordering. Returns any blocks cut
+    /// as a consequence (usually zero or one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProposeError`] if the Raft leader vanished (multi-node
+    /// mode only; callers retry after [`OrderingService::tick`]).
+    pub fn submit(&mut self, envelope: Vec<u8>) -> Result<Vec<Block>, ProposeError> {
+        match &mut self.cluster {
+            None => {
+                self.committed_pending.push(envelope);
+            }
+            Some(cluster) => {
+                cluster.propose(envelope);
+                // Drive replication until commit (bounded rounds).
+                for _ in 0..50 {
+                    cluster.round();
+                    let leader = match cluster.leader() {
+                        Some(l) => l,
+                        None => continue,
+                    };
+                    let committed = cluster.node_mut(leader).take_committed();
+                    if !committed.is_empty() {
+                        self.committed_pending.extend(committed);
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(self.cut_ready_blocks())
+    }
+
+    /// Advances the Raft cluster (no-op for single-orderer mode).
+    pub fn tick(&mut self) {
+        if let Some(cluster) = &mut self.cluster {
+            cluster.round();
+        }
+    }
+
+    /// Cuts a block from whatever is pending, even if smaller than the
+    /// configured block size (Fabric's batch timeout path).
+    pub fn cut_partial_block(&mut self) -> Option<Block> {
+        if self.committed_pending.is_empty() {
+            return None;
+        }
+        let take = self.committed_pending.len().min(self.config.block_size);
+        let envs: Vec<Vec<u8>> = self.committed_pending.drain(..take).collect();
+        Some(self.cut(envs))
+    }
+
+    /// Blocks cut so far.
+    pub fn blocks_cut(&self) -> u64 {
+        self.blocks_cut
+    }
+
+    fn cut_ready_blocks(&mut self) -> Vec<Block> {
+        let mut out = Vec::new();
+        while self.committed_pending.len() >= self.config.block_size {
+            let envs: Vec<Vec<u8>> = self
+                .committed_pending
+                .drain(..self.config.block_size)
+                .collect();
+            out.push(self.cut(envs));
+        }
+        out
+    }
+
+    fn cut(&mut self, envelopes: Vec<Vec<u8>>) -> Block {
+        let block = build_block(
+            self.next_block_number,
+            &self.previous_hash,
+            envelopes,
+            &self.identity,
+        );
+        self.previous_hash = block_header_hash(&block.header);
+        self.next_block_number += 1;
+        self.blocks_cut += 1;
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::identity::{Msp, Role};
+
+    fn orderer_identity() -> SigningIdentity {
+        let mut msp = Msp::new(1);
+        msp.issue(0, Role::Orderer, 0).unwrap()
+    }
+
+    #[test]
+    fn cuts_block_at_configured_size() {
+        let mut svc = OrderingService::new(
+            orderer_identity(),
+            OrdererConfig { block_size: 3, cluster_size: 1, seed: 1 },
+        );
+        assert!(svc.submit(vec![1]).unwrap().is_empty());
+        assert!(svc.submit(vec![2]).unwrap().is_empty());
+        let blocks = svc.submit(vec![3]).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].data.data.len(), 3);
+        assert_eq!(blocks[0].header.number, 0);
+    }
+
+    #[test]
+    fn blocks_chain_hashes() {
+        let mut svc = OrderingService::new(
+            orderer_identity(),
+            OrdererConfig { block_size: 1, cluster_size: 1, seed: 1 },
+        );
+        let b0 = svc.submit(vec![1]).unwrap().remove(0);
+        let b1 = svc.submit(vec![2]).unwrap().remove(0);
+        assert_eq!(b1.header.previous_hash, block_header_hash(&b0.header).to_vec());
+        assert_eq!(svc.blocks_cut(), 2);
+    }
+
+    #[test]
+    fn partial_block_on_timeout() {
+        let mut svc = OrderingService::new(
+            orderer_identity(),
+            OrdererConfig { block_size: 10, cluster_size: 1, seed: 1 },
+        );
+        svc.submit(vec![1]).unwrap();
+        svc.submit(vec![2]).unwrap();
+        let block = svc.cut_partial_block().expect("partial block");
+        assert_eq!(block.data.data.len(), 2);
+        assert!(svc.cut_partial_block().is_none());
+    }
+
+    #[test]
+    fn multi_orderer_raft_orders_envelopes() {
+        let mut svc = OrderingService::new(
+            orderer_identity(),
+            OrdererConfig { block_size: 2, cluster_size: 3, seed: 42 },
+        );
+        svc.submit(b"tx1".to_vec()).unwrap();
+        let blocks = svc.submit(b"tx2".to_vec()).unwrap();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].data.data, vec![b"tx1".to_vec(), b"tx2".to_vec()]);
+    }
+}

@@ -1,0 +1,398 @@
+//! The hardware endorsement-policy evaluator: register file + circuit.
+//!
+//! The Blockchain Machine's `ends_policy_evaluator` "consists of a
+//! register file, where each register represents an organization and each
+//! register bit represents one of the predefined roles. ... This enables
+//! us to use a combinational circuit for parallel evaluation of an
+//! endorsement policy" (paper §3.3). The `ends_scheduler` applies
+//! *short-circuit evaluation*: it rechecks the circuit output after every
+//! endorsement verification and stops issuing verifications once the
+//! output is already true.
+//!
+//! This module compiles a [`Policy`] into a gate-level [`PolicyCircuit`]
+//! whose inputs are bits of a [`RegisterFile`], mirroring the RTL that the
+//! paper's configuration script generates from the YAML file (§3.5).
+
+use std::fmt;
+
+use fabric_crypto::identity::{NodeId, Role};
+
+use crate::Policy;
+
+/// The register file: one 4-bit register per organization, one bit per
+/// role (bit index = [`Role::code`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    regs: Vec<u8>,
+}
+
+impl RegisterFile {
+    /// Creates a cleared register file for `num_orgs` organizations.
+    pub fn new(num_orgs: usize) -> Self {
+        RegisterFile { regs: vec![0; num_orgs] }
+    }
+
+    /// Clears all bits (done by `tx_vscc` at the start of each
+    /// transaction, so the default policy status is *not satisfied*).
+    pub fn clear(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = 0);
+    }
+
+    /// Records a *valid* endorsement from `node` (writes the bit selected
+    /// by the endorser's encoded id).
+    pub fn set(&mut self, node: NodeId) {
+        if let Some(reg) = self.regs.get_mut(node.org as usize) {
+            *reg |= 1 << node.role.code();
+        }
+    }
+
+    /// Reads the bit for `(org, role)`.
+    pub fn bit(&self, org: u8, role: Role) -> bool {
+        self.regs
+            .get(org as usize)
+            .is_some_and(|r| r & (1 << role.code()) != 0)
+    }
+
+    /// Number of organizations (registers).
+    pub fn num_orgs(&self) -> usize {
+        self.regs.len()
+    }
+}
+
+/// A gate in the compiled combinational circuit.
+///
+/// Nodes are stored in topological order; `Input` gates read the register
+/// file, logic gates read earlier nodes. The last node is the circuit
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Gate {
+    /// Register-file bit `(org, role)`.
+    Input(u8, Role),
+    /// AND over earlier node indices.
+    And(Vec<usize>),
+    /// OR over earlier node indices.
+    Or(Vec<usize>),
+    /// Constant (for degenerate policies).
+    Const(bool),
+}
+
+/// A policy compiled to a combinational circuit (paper §3.3: the
+/// "2-outof-3 orgs" example becomes "three 2-input AND gates and one
+/// 3-input OR gate").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyCircuit {
+    gates: Vec<Gate>,
+    and_gates: usize,
+    or_gates: usize,
+    inputs: usize,
+}
+
+impl PolicyCircuit {
+    /// Compiles a policy. `OutOf(k, subs)` is expanded into an OR over all
+    /// k-combinations of ANDs, exactly like the paper's example expansion
+    /// of "2-outof-3 orgs".
+    pub fn compile(policy: &Policy) -> Self {
+        let mut c = PolicyCircuit { gates: Vec::new(), and_gates: 0, or_gates: 0, inputs: 0 };
+        let out = c.lower(policy);
+        // Ensure the output is the last node.
+        if out != c.gates.len() - 1 {
+            let moved = c.gates[out].clone();
+            c.gates.push(moved);
+        }
+        c
+    }
+
+    fn lower(&mut self, policy: &Policy) -> usize {
+        match policy {
+            Policy::Signed(p) => {
+                self.inputs += 1;
+                self.push(Gate::Input(p.org, p.role))
+            }
+            Policy::And(subs) => {
+                let ins: Vec<usize> = subs.iter().map(|s| self.lower(s)).collect();
+                self.and_gates += 1;
+                self.push(Gate::And(ins))
+            }
+            Policy::Or(subs) => {
+                let ins: Vec<usize> = subs.iter().map(|s| self.lower(s)).collect();
+                self.or_gates += 1;
+                self.push(Gate::Or(ins))
+            }
+            Policy::OutOf(k, subs) => {
+                if *k == 0 {
+                    return self.push(Gate::Const(true));
+                }
+                if *k > subs.len() {
+                    return self.push(Gate::Const(false));
+                }
+                let ins: Vec<usize> = subs.iter().map(|s| self.lower(s)).collect();
+                // OR over all k-combinations of AND gates.
+                let mut combos = Vec::new();
+                let mut idx = vec![0usize; *k];
+                combinations(&ins, *k, &mut idx, 0, 0, &mut |combo| {
+                    combos.push(combo.to_vec());
+                });
+                let mut ands = Vec::with_capacity(combos.len());
+                for combo in combos {
+                    if combo.len() == 1 {
+                        ands.push(combo[0]);
+                    } else {
+                        self.and_gates += 1;
+                        ands.push(self.push(Gate::And(combo)));
+                    }
+                }
+                if ands.len() == 1 {
+                    ands[0]
+                } else {
+                    self.or_gates += 1;
+                    self.push(Gate::Or(ands))
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, gate: Gate) -> usize {
+        self.gates.push(gate);
+        self.gates.len() - 1
+    }
+
+    /// Evaluates the circuit against the register file. In hardware this
+    /// is a single combinational propagation — the simulator charges it
+    /// one cycle.
+    pub fn evaluate(&self, regs: &RegisterFile) -> bool {
+        let mut values = Vec::with_capacity(self.gates.len());
+        for gate in &self.gates {
+            let v = match gate {
+                Gate::Input(org, role) => regs.bit(*org, *role),
+                Gate::And(ins) => ins.iter().all(|&i| values[i]),
+                Gate::Or(ins) => ins.iter().any(|&i| values[i]),
+                Gate::Const(b) => *b,
+            };
+            values.push(v);
+        }
+        *values.last().unwrap_or(&false)
+    }
+
+    /// Number of AND gates (resource model input).
+    pub fn and_gate_count(&self) -> usize {
+        self.and_gates
+    }
+
+    /// Number of OR gates (resource model input).
+    pub fn or_gate_count(&self) -> usize {
+        self.or_gates
+    }
+
+    /// Number of register-file inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+impl fmt::Display for PolicyCircuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "circuit({} inputs, {} AND, {} OR)",
+            self.inputs, self.and_gates, self.or_gates
+        )
+    }
+}
+
+fn combinations(
+    items: &[usize],
+    k: usize,
+    scratch: &mut [usize],
+    start: usize,
+    depth: usize,
+    emit: &mut impl FnMut(&[usize]),
+) {
+    if depth == k {
+        emit(scratch);
+        return;
+    }
+    for i in start..items.len() {
+        scratch[depth] = items[i];
+        combinations(items, k, scratch, i + 1, depth + 1, emit);
+    }
+}
+
+/// Drives short-circuit evaluation for one transaction's endorsements,
+/// playing the role of the `ends_scheduler` + `ends_policy_evaluator`
+/// pair. Feed verification results in completion order; after each one,
+/// [`ShortCircuitEvaluator::status`] tells the scheduler whether to stop.
+#[derive(Debug)]
+pub struct ShortCircuitEvaluator<'a> {
+    circuit: &'a PolicyCircuit,
+    regs: RegisterFile,
+    satisfied: bool,
+    verified: usize,
+}
+
+/// Scheduler decision after each endorsement result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyStatus {
+    /// Policy already satisfied: discard remaining endorsements.
+    Satisfied,
+    /// Not yet satisfied: keep issuing verifications.
+    Undecided,
+}
+
+impl<'a> ShortCircuitEvaluator<'a> {
+    /// Starts a fresh evaluation (clears the register file).
+    pub fn new(circuit: &'a PolicyCircuit, num_orgs: usize) -> Self {
+        ShortCircuitEvaluator {
+            circuit,
+            regs: RegisterFile::new(num_orgs),
+            satisfied: false,
+            verified: 0,
+        }
+    }
+
+    /// Records one endorsement verification result and re-evaluates.
+    pub fn record(&mut self, endorser: NodeId, valid: bool) -> PolicyStatus {
+        self.verified += 1;
+        if valid {
+            self.regs.set(endorser);
+            if self.circuit.evaluate(&self.regs) {
+                self.satisfied = true;
+            }
+        }
+        self.status()
+    }
+
+    /// Current decision.
+    pub fn status(&self) -> PolicyStatus {
+        if self.satisfied {
+            PolicyStatus::Satisfied
+        } else {
+            PolicyStatus::Undecided
+        }
+    }
+
+    /// Endorsements verified so far (the quantity short-circuiting
+    /// minimizes).
+    pub fn verified_count(&self) -> usize {
+        self.verified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, Principal};
+
+    fn peer(org: u8) -> NodeId {
+        NodeId::new(org, Role::Peer, 0).unwrap()
+    }
+
+    #[test]
+    fn paper_example_2of3_gate_shape() {
+        // "the entire endorsement policy can be implemented using three
+        // 2-input AND gates and one 3-input OR gate"
+        let c = PolicyCircuit::compile(&Policy::k_out_of_n_orgs(2, 3));
+        assert_eq!(c.and_gate_count(), 3);
+        assert_eq!(c.or_gate_count(), 1);
+        assert_eq!(c.input_count(), 3);
+    }
+
+    #[test]
+    fn circuit_matches_set_semantics() {
+        let policies = [
+            Policy::k_out_of_n_orgs(1, 1),
+            Policy::k_out_of_n_orgs(2, 2),
+            Policy::k_out_of_n_orgs(2, 3),
+            Policy::k_out_of_n_orgs(3, 4),
+            parse("(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)")
+                .unwrap(),
+        ];
+        for policy in &policies {
+            let c = PolicyCircuit::compile(policy);
+            // Try all subsets of 4 orgs' peers.
+            for mask in 0u8..16 {
+                let endorsers: Vec<NodeId> =
+                    (0..4).filter(|o| mask & (1 << o) != 0).map(peer).collect();
+                let mut regs = RegisterFile::new(4);
+                for &e in &endorsers {
+                    regs.set(e);
+                }
+                assert_eq!(
+                    c.evaluate(&regs),
+                    policy.evaluate(&endorsers),
+                    "policy={policy} mask={mask:04b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn register_file_bit_addressing() {
+        let mut regs = RegisterFile::new(4);
+        let e = NodeId::new(2, Role::Peer, 1).unwrap();
+        regs.set(e);
+        assert!(regs.bit(2, Role::Peer));
+        assert!(!regs.bit(2, Role::Admin));
+        assert!(!regs.bit(1, Role::Peer));
+        regs.clear();
+        assert!(!regs.bit(2, Role::Peer));
+    }
+
+    #[test]
+    fn short_circuit_stops_at_k_of_n() {
+        // 2of3: after two valid endorsements the third must be skipped.
+        let c = PolicyCircuit::compile(&Policy::k_out_of_n_orgs(2, 3));
+        let mut sc = ShortCircuitEvaluator::new(&c, 3);
+        assert_eq!(sc.record(peer(0), true), PolicyStatus::Undecided);
+        assert_eq!(sc.record(peer(1), true), PolicyStatus::Satisfied);
+        assert_eq!(sc.verified_count(), 2);
+    }
+
+    #[test]
+    fn short_circuit_handles_invalid_endorsements() {
+        let c = PolicyCircuit::compile(&Policy::k_out_of_n_orgs(2, 3));
+        let mut sc = ShortCircuitEvaluator::new(&c, 3);
+        assert_eq!(sc.record(peer(0), false), PolicyStatus::Undecided);
+        assert_eq!(sc.record(peer(1), true), PolicyStatus::Undecided);
+        assert_eq!(sc.record(peer(2), true), PolicyStatus::Satisfied);
+        assert_eq!(sc.verified_count(), 3);
+    }
+
+    #[test]
+    fn unsatisfiable_after_all_processed_stays_undecided() {
+        // The scheduler marks the tx invalid when endorsements run out
+        // while status is still Undecided (paper §3.3).
+        let c = PolicyCircuit::compile(&Policy::k_out_of_n_orgs(2, 2));
+        let mut sc = ShortCircuitEvaluator::new(&c, 2);
+        sc.record(peer(0), true);
+        sc.record(peer(1), false);
+        assert_eq!(sc.status(), PolicyStatus::Undecided);
+    }
+
+    #[test]
+    fn degenerate_outof_policies() {
+        let always = PolicyCircuit::compile(&Policy::OutOf(0, vec![]));
+        assert!(always.evaluate(&RegisterFile::new(1)));
+        let never = PolicyCircuit::compile(&Policy::OutOf(3, vec![
+            Policy::Signed(Principal::peer(0)),
+        ]));
+        let mut regs = RegisterFile::new(1);
+        regs.set(peer(0));
+        assert!(!never.evaluate(&regs));
+    }
+
+    #[test]
+    fn duplicate_endorser_does_not_double_count() {
+        // Two endorsements from the same org set the same bit: 2of3 must
+        // not be satisfied by Org1 twice.
+        let c = PolicyCircuit::compile(&Policy::k_out_of_n_orgs(2, 3));
+        let mut sc = ShortCircuitEvaluator::new(&c, 3);
+        sc.record(peer(0), true);
+        let second = NodeId::new(0, Role::Peer, 1).unwrap();
+        assert_eq!(sc.record(second, true), PolicyStatus::Undecided);
+    }
+}

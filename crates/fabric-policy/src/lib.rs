@@ -1,0 +1,426 @@
+//! Endorsement policies: language, parser, evaluators, circuit compiler.
+//!
+//! An endorsement policy "specifies the type and number of endorsers
+//! needed for the transaction in the form of logical expressions such as
+//! 'Org1 & Org2' or '2-outof-3 orgs'" (paper §2.1.2). Two evaluation
+//! semantics are modeled:
+//!
+//! * [`Policy::evaluate`] — set semantics used by both peers to decide
+//!   validity from the set of valid endorsers;
+//! * [`PolicyCircuit`] — the Blockchain Machine's hardware evaluator: the
+//!   policy compiled to a combinational circuit over a register file
+//!   (one register per organization, one bit per role), evaluated in
+//!   parallel, with short-circuit support (paper §3.3,
+//!   `ends_policy_evaluator`).
+//!
+//! The crucial behavioural difference reproduced from the paper: *Fabric
+//! software always verifies all endorsements regardless of the policy*
+//! ("It turns out that Fabric always verifies all the endorsements of a
+//! transaction, irrespective of the policy"), while the hardware's
+//! `ends_scheduler` checks the circuit output after every verification
+//! and stops as soon as the policy is satisfied.
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod parser;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use fabric_crypto::identity::{NodeId, Role};
+
+pub use circuit::{PolicyCircuit, RegisterFile};
+pub use parser::{parse, PolicyParseError};
+
+/// A principal an endorsement can match: an organization plus a role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Principal {
+    /// Organization index (0-based; `Org1` is index 0).
+    pub org: u8,
+    /// Required role (endorsements come from peers in practice).
+    pub role: Role,
+}
+
+impl Principal {
+    /// Principal for an organization's peers (the common case).
+    pub fn peer(org: u8) -> Self {
+        Principal { org, role: Role::Peer }
+    }
+
+    /// Whether `node` satisfies this principal.
+    pub fn matches(&self, node: NodeId) -> bool {
+        node.org == self.org && node.role == self.role
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.role == Role::Peer {
+            write!(f, "Org{}", self.org + 1)
+        } else {
+            write!(f, "Org{}.{}", self.org + 1, self.role)
+        }
+    }
+}
+
+/// The endorsement policy AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Policy {
+    /// Satisfied by one valid endorsement matching the principal.
+    Signed(Principal),
+    /// All sub-policies must be satisfied.
+    And(Vec<Policy>),
+    /// Any sub-policy satisfies.
+    Or(Vec<Policy>),
+    /// At least `n` of the sub-policies must be satisfied.
+    OutOf(usize, Vec<Policy>),
+}
+
+impl Policy {
+    /// The `"K-outof-N orgs"` shorthand from the paper: `k` of the first
+    /// `n` organizations' peers.
+    pub fn k_out_of_n_orgs(k: usize, n: usize) -> Policy {
+        Policy::OutOf(
+            k,
+            (0..n).map(|o| Policy::Signed(Principal::peer(o as u8))).collect(),
+        )
+    }
+
+    /// Evaluates the policy against the set of valid endorsers.
+    pub fn evaluate(&self, valid_endorsers: &[NodeId]) -> bool {
+        match self {
+            Policy::Signed(p) => valid_endorsers.iter().any(|&e| p.matches(e)),
+            Policy::And(subs) => subs.iter().all(|s| s.evaluate(valid_endorsers)),
+            Policy::Or(subs) => subs.iter().any(|s| s.evaluate(valid_endorsers)),
+            Policy::OutOf(n, subs) => {
+                subs.iter().filter(|s| s.evaluate(valid_endorsers)).count() >= *n
+            }
+        }
+    }
+
+    /// Evaluates the policy the way Fabric's software vscc does: walk
+    /// every sub-expression sequentially and count the visits. The visit
+    /// count drives the software cost model for complex policies (the
+    /// paper's "(Org1 & Org2) | ..." policy measurably slows the software
+    /// peer because "Fabric implementation evaluates all sub-expressions
+    /// of a policy sequentially").
+    pub fn evaluate_sequential(&self, valid_endorsers: &[NodeId]) -> (bool, usize) {
+        match self {
+            Policy::Signed(p) => (valid_endorsers.iter().any(|&e| p.matches(e)), 1),
+            Policy::And(subs) => {
+                let mut visits = 1;
+                let mut ok = true;
+                for s in subs {
+                    let (sub_ok, sub_visits) = s.evaluate_sequential(valid_endorsers);
+                    visits += sub_visits;
+                    ok &= sub_ok;
+                }
+                (ok, visits)
+            }
+            Policy::Or(subs) => {
+                let mut visits = 1;
+                let mut ok = false;
+                for s in subs {
+                    let (sub_ok, sub_visits) = s.evaluate_sequential(valid_endorsers);
+                    visits += sub_visits;
+                    ok |= sub_ok;
+                }
+                (ok, visits)
+            }
+            Policy::OutOf(n, subs) => {
+                let mut visits = 1;
+                let mut count = 0;
+                for s in subs {
+                    let (sub_ok, sub_visits) = s.evaluate_sequential(valid_endorsers);
+                    visits += sub_visits;
+                    count += sub_ok as usize;
+                }
+                (count >= *n, visits)
+            }
+        }
+    }
+
+    /// All principals mentioned by the policy (used to generate the
+    /// hardware register file and to pick endorsers in workloads).
+    pub fn principals(&self) -> BTreeSet<Principal> {
+        let mut out = BTreeSet::new();
+        self.collect_principals(&mut out);
+        out
+    }
+
+    fn collect_principals(&self, out: &mut BTreeSet<Principal>) {
+        match self {
+            Policy::Signed(p) => {
+                out.insert(*p);
+            }
+            Policy::And(subs) | Policy::Or(subs) | Policy::OutOf(_, subs) => {
+                for s in subs {
+                    s.collect_principals(out);
+                }
+            }
+        }
+    }
+
+    /// Minimum number of valid endorsements that can satisfy the policy
+    /// (drives the hardware short-circuit benefit: a `2of3` policy needs
+    /// only 2 verifications in the common case).
+    ///
+    /// This is the size of the smallest *set of distinct principals*
+    /// whose endorsements satisfy the policy — one endorsement per
+    /// principal suffices because the register file holds one bit per
+    /// (org, role). For up to 20 principals the exact minimum is found
+    /// by subset search (policies are tiny); beyond that a structural
+    /// upper bound is used.
+    pub fn min_satisfying(&self) -> usize {
+        let principals: Vec<Principal> = self.principals().into_iter().collect();
+        if principals.is_empty() {
+            // Degenerate constant policies: 0 if trivially satisfied.
+            return if self.evaluate(&[]) { 0 } else { usize::MAX };
+        }
+        if principals.len() <= 20 {
+            // Exact: smallest subset of principals that satisfies.
+            for size in 0..=principals.len() {
+                if let Some(found) = Self::subset_of_size_satisfies(self, &principals, size) {
+                    return found;
+                }
+            }
+            return usize::MAX; // unsatisfiable even with everyone
+        }
+        self.min_satisfying_bound().min(principals.len())
+    }
+
+    fn subset_of_size_satisfies(
+        policy: &Policy,
+        principals: &[Principal],
+        size: usize,
+    ) -> Option<usize> {
+        // Iterate subsets of exactly `size` principals.
+        fn rec(
+            policy: &Policy,
+            principals: &[Principal],
+            chosen: &mut Vec<NodeId>,
+            start: usize,
+            remaining: usize,
+        ) -> bool {
+            if remaining == 0 {
+                return policy.evaluate(chosen);
+            }
+            for i in start..principals.len() {
+                let p = principals[i];
+                let node = NodeId::new(p.org, p.role, 0).expect("seq 0 fits");
+                chosen.push(node);
+                if rec(policy, principals, chosen, i + 1, remaining - 1) {
+                    chosen.pop();
+                    return true;
+                }
+                chosen.pop();
+            }
+            false
+        }
+        let mut chosen = Vec::with_capacity(size);
+        if rec(policy, principals, &mut chosen, 0, size) {
+            Some(size)
+        } else {
+            None
+        }
+    }
+
+    /// Structural upper bound on [`Policy::min_satisfying`] (exact when
+    /// no principal repeats across branches).
+    fn min_satisfying_bound(&self) -> usize {
+        match self {
+            Policy::Signed(_) => 1,
+            Policy::And(subs) => subs.iter().map(Policy::min_satisfying_bound).sum(),
+            Policy::Or(subs) => subs
+                .iter()
+                .map(Policy::min_satisfying_bound)
+                .min()
+                .unwrap_or(usize::MAX),
+            Policy::OutOf(n, subs) => {
+                let mut costs: Vec<usize> =
+                    subs.iter().map(Policy::min_satisfying_bound).collect();
+                costs.sort_unstable();
+                costs.iter().take(*n).sum()
+            }
+        }
+    }
+
+    /// Number of boolean gates when compiled to the hardware circuit —
+    /// input to the Table-1 resource model.
+    pub fn gate_count(&self) -> usize {
+        match self {
+            Policy::Signed(_) => 0,
+            Policy::And(subs) | Policy::Or(subs) => {
+                1 + subs.iter().map(Policy::gate_count).sum::<usize>()
+            }
+            Policy::OutOf(n, subs) => {
+                // Expanded to an OR of ANDs over all n-combinations.
+                let combos = n_choose_k(subs.len(), *n);
+                1 + combos + subs.iter().map(Policy::gate_count).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Signed(p) => write!(f, "{p}"),
+            Policy::And(subs) => write_joined(f, subs, " & "),
+            Policy::Or(subs) => write_joined(f, subs, " | "),
+            Policy::OutOf(n, subs) => {
+                write!(f, "{n}-outof-(")?;
+                for (i, s) in subs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn write_joined(f: &mut fmt::Formatter<'_>, subs: &[Policy], sep: &str) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, s) in subs.iter().enumerate() {
+        if i > 0 {
+            write!(f, "{sep}")?;
+        }
+        write!(f, "{s}")?;
+    }
+    write!(f, ")")
+}
+
+fn n_choose_k(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1usize;
+    for i in 0..k {
+        result = result * (n - i) / (i + 1);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer(org: u8) -> NodeId {
+        NodeId::new(org, Role::Peer, 0).unwrap()
+    }
+
+    #[test]
+    fn signed_policy() {
+        let p = Policy::Signed(Principal::peer(0));
+        assert!(p.evaluate(&[peer(0)]));
+        assert!(!p.evaluate(&[peer(1)]));
+        assert!(!p.evaluate(&[]));
+        // role must match
+        let client = NodeId::new(0, Role::Client, 0).unwrap();
+        assert!(!p.evaluate(&[client]));
+    }
+
+    #[test]
+    fn and_or_semantics() {
+        let and = Policy::And(vec![
+            Policy::Signed(Principal::peer(0)),
+            Policy::Signed(Principal::peer(1)),
+        ]);
+        assert!(and.evaluate(&[peer(0), peer(1)]));
+        assert!(!and.evaluate(&[peer(0)]));
+        let or = Policy::Or(vec![
+            Policy::Signed(Principal::peer(0)),
+            Policy::Signed(Principal::peer(1)),
+        ]);
+        assert!(or.evaluate(&[peer(1)]));
+        assert!(!or.evaluate(&[peer(2)]));
+    }
+
+    #[test]
+    fn out_of_semantics() {
+        let p = Policy::k_out_of_n_orgs(2, 3);
+        assert!(p.evaluate(&[peer(0), peer(2)]));
+        assert!(p.evaluate(&[peer(0), peer(1), peer(2)]));
+        assert!(!p.evaluate(&[peer(1)]));
+        assert!(!p.evaluate(&[peer(1), peer(5)]));
+    }
+
+    #[test]
+    fn min_satisfying_counts() {
+        assert_eq!(Policy::k_out_of_n_orgs(2, 3).min_satisfying(), 2);
+        assert_eq!(Policy::k_out_of_n_orgs(3, 3).min_satisfying(), 3);
+        let complex = Policy::Or(vec![
+            Policy::And(vec![
+                Policy::Signed(Principal::peer(0)),
+                Policy::Signed(Principal::peer(1)),
+            ]),
+            Policy::Signed(Principal::peer(2)),
+        ]);
+        assert_eq!(complex.min_satisfying(), 1);
+    }
+
+    #[test]
+    fn sequential_visits_all_subexpressions() {
+        // The paper's complex policy: 5 AND pairs OR'd together.
+        let pairs = [(0, 1), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let complex = Policy::Or(
+            pairs
+                .iter()
+                .map(|&(a, b)| {
+                    Policy::And(vec![
+                        Policy::Signed(Principal::peer(a)),
+                        Policy::Signed(Principal::peer(b)),
+                    ])
+                })
+                .collect(),
+        );
+        let (ok, visits) = complex.evaluate_sequential(&[peer(0), peer(1)]);
+        assert!(ok);
+        // 1 (or) + 5 * (1 and + 2 signed) = 16 — all visited, no shortcut.
+        assert_eq!(visits, 16);
+    }
+
+    #[test]
+    fn principals_collected() {
+        let p = Policy::k_out_of_n_orgs(2, 3);
+        let principals = p.principals();
+        assert_eq!(principals.len(), 3);
+        assert!(principals.contains(&Principal::peer(0)));
+        assert!(principals.contains(&Principal::peer(2)));
+    }
+
+    #[test]
+    fn gate_counts() {
+        // 2of3 -> OR gate + 3 AND combos
+        assert_eq!(Policy::k_out_of_n_orgs(2, 3).gate_count(), 4);
+        // plain AND of two signed -> 1 gate
+        let and = Policy::And(vec![
+            Policy::Signed(Principal::peer(0)),
+            Policy::Signed(Principal::peer(1)),
+        ]);
+        assert_eq!(and.gate_count(), 1);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        for p in [
+            Policy::k_out_of_n_orgs(2, 3),
+            Policy::And(vec![
+                Policy::Signed(Principal::peer(0)),
+                Policy::Signed(Principal::peer(1)),
+            ]),
+        ] {
+            let shown = p.to_string();
+            let reparsed = parse(&shown).unwrap();
+            assert_eq!(
+                reparsed.evaluate(&[peer(0), peer(1)]),
+                p.evaluate(&[peer(0), peer(1)])
+            );
+        }
+    }
+}

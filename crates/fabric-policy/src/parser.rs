@@ -1,0 +1,330 @@
+//! Parser for the endorsement-policy expression language.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! expr    := term ('|' term)*
+//! term    := factor ('&' factor)*
+//! factor  := '(' expr ')' | outof | principal
+//! outof   := INT ('-outof-' | 'of') INT ['orgs']     e.g. "2-outof-3 orgs", "2of3"
+//!          | INT '-outof-' '(' expr (',' expr)* ')'  explicit operand list
+//! principal := 'Org' INT ['.' role]                  role in {orderer, admin, peer, client}
+//! ```
+//!
+//! This covers every policy the paper uses: `1of1` .. `4of4`, `2of3`,
+//! `2of4`, `3of4`, `"2-outof-2 orgs"`, and the complex
+//! `"(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) |
+//! (Org3 & Org4)"`.
+
+use std::fmt;
+
+use fabric_crypto::identity::Role;
+
+use crate::{Policy, Principal};
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    /// Byte offset where parsing failed.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// Parses a policy expression.
+///
+/// # Errors
+///
+/// Returns [`PolicyParseError`] with the offending position on malformed
+/// input.
+///
+/// ```
+/// use fabric_policy::{parse, Policy};
+/// let p = parse("2-outof-3 orgs")?;
+/// assert_eq!(p, Policy::k_out_of_n_orgs(2, 3));
+/// # Ok::<(), fabric_policy::PolicyParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Policy, PolicyParseError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let policy = p.expr()?;
+    p.skip_ws();
+    if p.pos != p.input.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(policy)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> PolicyParseError {
+        PolicyParseError { position: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        let kw = kw.as_bytes();
+        if self.input[self.pos..]
+            .iter()
+            .zip(kw)
+            .take(kw.len())
+            .filter(|(a, b)| a.eq_ignore_ascii_case(b))
+            .count()
+            == kw.len()
+            && self.input.len() - self.pos >= kw.len()
+        {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Option<usize> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+
+    fn expr(&mut self) -> Result<Policy, PolicyParseError> {
+        let mut terms = vec![self.term()?];
+        while self.eat(b'|') {
+            terms.push(self.term()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one term")
+        } else {
+            Policy::Or(terms)
+        })
+    }
+
+    fn term(&mut self) -> Result<Policy, PolicyParseError> {
+        let mut factors = vec![self.factor()?];
+        while self.eat(b'&') {
+            factors.push(self.factor()?);
+        }
+        Ok(if factors.len() == 1 {
+            factors.pop().expect("one factor")
+        } else {
+            Policy::And(factors)
+        })
+    }
+
+    fn factor(&mut self) -> Result<Policy, PolicyParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                if !self.eat(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_digit() => self.outof(),
+            Some(b'O') | Some(b'o') => self.principal(),
+            _ => Err(self.error("expected '(', a number, or 'Org'")),
+        }
+    }
+
+    fn outof(&mut self) -> Result<Policy, PolicyParseError> {
+        let k = self.number().ok_or_else(|| self.error("expected count"))?;
+        if self.eat_keyword("-outof-") {
+            // Either "N orgs" shorthand or "(expr, expr, ...)".
+            if self.peek() == Some(b'(') {
+                self.pos += 1;
+                let mut subs = vec![self.expr()?];
+                while self.eat(b',') {
+                    subs.push(self.expr()?);
+                }
+                if !self.eat(b')') {
+                    return Err(self.error("expected ')'"));
+                }
+                if k > subs.len() {
+                    return Err(self.error(format!("{k}-outof-{} is unsatisfiable", subs.len())));
+                }
+                return Ok(Policy::OutOf(k, subs));
+            }
+            let n = self.number().ok_or_else(|| self.error("expected total"))?;
+            let _ = self.eat_keyword("orgs") || self.eat_keyword("org");
+            if k > n {
+                return Err(self.error(format!("{k}-outof-{n} is unsatisfiable")));
+            }
+            Ok(Policy::k_out_of_n_orgs(k, n))
+        } else if self.eat_keyword("of") {
+            let n = self.number().ok_or_else(|| self.error("expected total"))?;
+            if k > n {
+                return Err(self.error(format!("{k}of{n} is unsatisfiable")));
+            }
+            Ok(Policy::k_out_of_n_orgs(k, n))
+        } else {
+            Err(self.error("expected '-outof-' or 'of' after count"))
+        }
+    }
+
+    fn principal(&mut self) -> Result<Policy, PolicyParseError> {
+        if !self.eat_keyword("org") {
+            return Err(self.error("expected 'Org'"));
+        }
+        let n = self.number().ok_or_else(|| self.error("expected org number"))?;
+        if n == 0 || n > 256 {
+            return Err(self.error("org number must be 1..=256"));
+        }
+        let role = if self.pos < self.input.len() && self.input[self.pos] == b'.' {
+            self.pos += 1;
+            if self.eat_keyword("orderer") {
+                Role::Orderer
+            } else if self.eat_keyword("admin") {
+                Role::Admin
+            } else if self.eat_keyword("peer") {
+                Role::Peer
+            } else if self.eat_keyword("client") {
+                Role::Client
+            } else {
+                return Err(self.error("unknown role"));
+            }
+        } else {
+            Role::Peer
+        };
+        Ok(Policy::Signed(Principal { org: (n - 1) as u8, role }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_shorthands() {
+        assert_eq!(parse("2-outof-2 orgs").unwrap(), Policy::k_out_of_n_orgs(2, 2));
+        assert_eq!(parse("2of3").unwrap(), Policy::k_out_of_n_orgs(2, 3));
+        assert_eq!(parse("1of1").unwrap(), Policy::k_out_of_n_orgs(1, 1));
+        assert_eq!(parse("3of4").unwrap(), Policy::k_out_of_n_orgs(3, 4));
+    }
+
+    #[test]
+    fn parses_simple_and() {
+        let p = parse("Org1 & Org2").unwrap();
+        assert_eq!(
+            p,
+            Policy::And(vec![
+                Policy::Signed(Principal::peer(0)),
+                Policy::Signed(Principal::peer(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn parses_paper_complex_policy() {
+        let p = parse(
+            "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)",
+        )
+        .unwrap();
+        match &p {
+            Policy::Or(subs) => assert_eq!(subs.len(), 5),
+            other => panic!("expected Or, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_roles() {
+        let p = parse("Org1.admin").unwrap();
+        assert_eq!(p, Policy::Signed(Principal { org: 0, role: Role::Admin }));
+        let p = parse("Org2.client | Org1").unwrap();
+        match p {
+            Policy::Or(v) => assert_eq!(v.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_explicit_outof_list() {
+        let p = parse("2-outof-(Org1, Org2, Org3 & Org4)").unwrap();
+        match &p {
+            Policy::OutOf(2, subs) => assert_eq!(subs.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in [
+            "",
+            "Org",
+            "Org0",
+            "Org1 &",
+            "(Org1",
+            "5of3",
+            "2-outof-",
+            "Org1.wizard",
+            "Org1 Org2",
+            "| Org1",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        assert_eq!(
+            parse("  Org1&Org2  ").unwrap(),
+            parse("Org1 & Org2").unwrap()
+        );
+        assert!(parse("2  of  3").is_ok());
+    }
+
+    #[test]
+    fn nested_parentheses() {
+        let p = parse("((Org1 | Org2) & (Org3 | Org4))").unwrap();
+        match p {
+            Policy::And(v) => assert_eq!(v.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_carries_position() {
+        let err = parse("Org1 & & Org2").unwrap_err();
+        assert!(err.position > 0);
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: the hardware circuit must agree with the set
+//! semantics for *every* policy and endorser subset, and short-circuit
+//! evaluation must never change outcomes.
+
+use fabric_crypto::identity::{NodeId, Role};
+use fabric_policy::circuit::{PolicyStatus, RegisterFile, ShortCircuitEvaluator};
+use fabric_policy::{Policy, PolicyCircuit, Principal};
+use proptest::prelude::*;
+
+const ORGS: u8 = 5;
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let leaf = (0..ORGS).prop_map(|o| Policy::Signed(Principal::peer(o)));
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Policy::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Policy::Or),
+            (proptest::collection::vec(inner, 1..4), 1usize..4).prop_map(|(subs, k)| {
+                let k = k.min(subs.len());
+                Policy::OutOf(k, subs)
+            }),
+        ]
+    })
+}
+
+fn peers(mask: u8) -> Vec<NodeId> {
+    (0..ORGS)
+        .filter(|o| mask & (1 << o) != 0)
+        .map(|o| NodeId::new(o, Role::Peer, 0).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn circuit_agrees_with_set_semantics(policy in arb_policy(), mask in 0u8..32) {
+        let circuit = PolicyCircuit::compile(&policy);
+        let endorsers = peers(mask);
+        let mut regs = RegisterFile::new(ORGS as usize);
+        for &e in &endorsers {
+            regs.set(e);
+        }
+        prop_assert_eq!(circuit.evaluate(&regs), policy.evaluate(&endorsers));
+    }
+
+    #[test]
+    fn sequential_agrees_with_set_semantics(policy in arb_policy(), mask in 0u8..32) {
+        let endorsers = peers(mask);
+        let (seq, visits) = policy.evaluate_sequential(&endorsers);
+        prop_assert_eq!(seq, policy.evaluate(&endorsers));
+        prop_assert!(visits >= 1);
+    }
+
+    #[test]
+    fn short_circuit_is_sound(policy in arb_policy(), mask in 0u8..32) {
+        // Feeding all endorsements through the short-circuit evaluator
+        // must reach Satisfied exactly when the policy evaluates true.
+        let circuit = PolicyCircuit::compile(&policy);
+        let endorsers = peers(mask);
+        let mut sc = ShortCircuitEvaluator::new(&circuit, ORGS as usize);
+        let mut status = sc.status();
+        for &e in &endorsers {
+            status = sc.record(e, true);
+            if status == PolicyStatus::Satisfied {
+                break;
+            }
+        }
+        prop_assert_eq!(
+            status == PolicyStatus::Satisfied,
+            policy.evaluate(&endorsers)
+        );
+    }
+
+    #[test]
+    fn short_circuit_never_verifies_more_than_all(policy in arb_policy(), mask in 0u8..32) {
+        let circuit = PolicyCircuit::compile(&policy);
+        let endorsers = peers(mask);
+        let mut sc = ShortCircuitEvaluator::new(&circuit, ORGS as usize);
+        for &e in &endorsers {
+            if sc.record(e, true) == PolicyStatus::Satisfied {
+                break;
+            }
+        }
+        prop_assert!(sc.verified_count() <= endorsers.len());
+    }
+
+    #[test]
+    fn min_satisfying_is_achievable_upper_bound(policy in arb_policy()) {
+        // min_satisfying endorsements from the right orgs must satisfy;
+        // and it never exceeds the principal count.
+        let principals = policy.principals();
+        prop_assume!(!principals.is_empty());
+        let all: Vec<NodeId> = principals
+            .iter()
+            .map(|p| NodeId::new(p.org, p.role, 0).unwrap())
+            .collect();
+        if policy.evaluate(&all) {
+            prop_assert!(policy.min_satisfying() <= all.len());
+        }
+    }
+
+    #[test]
+    fn display_reparses_equivalently(policy in arb_policy(), mask in 0u8..32) {
+        let shown = policy.to_string();
+        let reparsed = fabric_policy::parse(&shown).unwrap();
+        let endorsers = peers(mask);
+        prop_assert_eq!(reparsed.evaluate(&endorsers), policy.evaluate(&endorsers));
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ ()&|Oorgf0-9.,-]{0,64}") {
+        let _ = fabric_policy::parse(&input);
+    }
+}

@@ -1,0 +1,608 @@
+//! Building and decoding complete Fabric transactions and blocks.
+//!
+//! These helpers assemble the full nested message stack from
+//! [`crate::messages`] — the same layering a real Fabric client, endorser
+//! and orderer produce — and decode it back for validation. The decode
+//! path is deliberately faithful to Fabric's recursive unmarshaling: every
+//! layer is parsed, which is exactly the cost the BMac protocol avoids in
+//! hardware (paper §3.2 reason 1).
+
+use fabric_crypto::identity::{Certificate, SigningIdentity};
+use fabric_crypto::sha256::sha256;
+use fabric_crypto::Signature;
+
+use crate::messages::*;
+use crate::wire::WireError;
+
+/// A read of `key` at an expected [`Version`].
+pub type ReadEntry = (String, Option<Version>);
+/// A write of `key` to a new value.
+pub type WriteEntry = (String, Vec<u8>);
+
+/// Inputs to [`build_transaction`].
+#[derive(Debug, Clone)]
+pub struct TxParams<'a> {
+    /// Channel name.
+    pub channel_id: &'a str,
+    /// Chaincode invoked by this transaction.
+    pub chaincode: &'a str,
+    /// Keys read during endorsement simulation.
+    pub reads: Vec<ReadEntry>,
+    /// Keys written.
+    pub writes: Vec<WriteEntry>,
+    /// Uniquifying nonce (normally random; deterministic in tests).
+    pub nonce: Vec<u8>,
+    /// Wall-clock seconds for the channel header.
+    pub timestamp: u64,
+}
+
+/// A fully built transaction: the marshaled envelope plus its id.
+#[derive(Debug, Clone)]
+pub struct BuiltTransaction {
+    /// Hex transaction id (`sha256(nonce ++ creator)`).
+    pub tx_id: String,
+    /// The marshaled [`Envelope`] ready for ordering.
+    pub envelope: Vec<u8>,
+}
+
+/// Builds a complete endorsed transaction envelope.
+///
+/// The construction mirrors the real flow: the client assembles the
+/// proposal, each endorser signs `proposal_response_payload ++
+/// endorser-identity`, and the client signs the final payload.
+pub fn build_transaction(
+    client: &SigningIdentity,
+    endorsers: &[&SigningIdentity],
+    params: &TxParams<'_>,
+) -> BuiltTransaction {
+    let creator = serialize_identity(client);
+    let tx_id = compute_tx_id(&params.nonce, &creator);
+
+    // Layer: KVRWSet -> NsReadWriteSet -> TxReadWriteSet
+    let kv = KvRwSet {
+        reads: params
+            .reads
+            .iter()
+            .map(|(k, v)| KvRead { key: k.clone(), version: *v })
+            .collect(),
+        writes: params
+            .writes
+            .iter()
+            .map(|(k, v)| KvWrite { key: k.clone(), is_delete: false, value: v.clone() })
+            .collect(),
+    };
+    let txrw = TxReadWriteSet {
+        data_model: 0,
+        ns_rwset: vec![NsReadWriteSet {
+            namespace: params.chaincode.to_string(),
+            rwset: kv.marshal(),
+        }],
+    };
+
+    // Layer: ChaincodeAction -> ProposalResponsePayload
+    let cc_action = ChaincodeAction {
+        results: txrw.marshal(),
+        events: Vec::new(),
+        response_status: 200,
+        chaincode_id: ChaincodeId {
+            path: String::new(),
+            name: params.chaincode.to_string(),
+            version: "1.0".into(),
+        },
+    };
+    let prp = ProposalResponsePayload {
+        proposal_hash: sha256(&params.nonce).to_vec(),
+        extension: cc_action.marshal(),
+    };
+    let prp_bytes = prp.marshal();
+
+    // Endorsements: sign prp ++ endorser identity (Fabric semantics).
+    let endorsements: Vec<Endorsement> = endorsers
+        .iter()
+        .map(|e| {
+            let endorser_bytes = serialize_identity(e);
+            let mut msg = prp_bytes.clone();
+            msg.extend_from_slice(&endorser_bytes);
+            let sig = e.sign(&msg);
+            Endorsement {
+                endorser: endorser_bytes,
+                signature: fabric_crypto::der::encode_signature(&sig),
+            }
+        })
+        .collect();
+
+    // Layer: ChaincodeEndorsedAction -> ChaincodeActionPayload ->
+    // TransactionAction -> Transaction
+    let cap = ChaincodeActionPayload {
+        chaincode_proposal_payload: params.nonce.clone(),
+        action: ChaincodeEndorsedAction {
+            proposal_response_payload: prp_bytes,
+            endorsements,
+        },
+    };
+    let sig_header = SignatureHeader { creator: creator.clone(), nonce: params.nonce.clone() };
+    let tx = Transaction {
+        actions: vec![TransactionAction {
+            header: sig_header.marshal(),
+            payload: cap.marshal(),
+        }],
+    };
+
+    // Layer: ChannelHeader/SignatureHeader -> Header -> Payload -> Envelope
+    let ch = ChannelHeader {
+        header_type: header_type::ENDORSER_TRANSACTION,
+        version: 1,
+        timestamp: params.timestamp,
+        channel_id: params.channel_id.to_string(),
+        tx_id: tx_id.clone(),
+        epoch: 0,
+    };
+    let payload = Payload {
+        header: Header {
+            channel_header: ch.marshal(),
+            signature_header: sig_header.marshal(),
+        },
+        data: tx.marshal(),
+    };
+    let payload_bytes = payload.marshal();
+    let client_sig = client.sign(&payload_bytes);
+    let envelope = Envelope {
+        payload: payload_bytes,
+        signature: fabric_crypto::der::encode_signature(&client_sig),
+    };
+    BuiltTransaction { tx_id, envelope: envelope.marshal() }
+}
+
+/// Fabric's transaction id: hex of `sha256(nonce ++ creator)`.
+pub fn compute_tx_id(nonce: &[u8], creator: &[u8]) -> String {
+    let mut material = nonce.to_vec();
+    material.extend_from_slice(creator);
+    to_hex(&sha256(&material))
+}
+
+/// Serializes a node identity as a marshaled [`SerializedIdentity`].
+pub fn serialize_identity(identity: &SigningIdentity) -> Vec<u8> {
+    SerializedIdentity {
+        mspid: identity.certificate().org_name.clone(),
+        id_bytes: identity.certificate().to_bytes(),
+    }
+    .marshal()
+}
+
+/// One endorsement, decoded for verification.
+#[derive(Debug, Clone)]
+pub struct DecodedEndorsement {
+    /// The endorser's certificate.
+    pub endorser_cert: Certificate,
+    /// DER signature bytes as transmitted.
+    pub signature_der: Vec<u8>,
+    /// Parsed signature.
+    pub signature: Signature,
+    /// The message the endorser signed (`prp ++ endorser-identity`).
+    pub signed_message: Vec<u8>,
+}
+
+/// A fully decoded endorser transaction, ready for verify/vscc/mvcc.
+#[derive(Debug, Clone)]
+pub struct DecodedTransaction {
+    /// Hex transaction id from the channel header.
+    pub tx_id: String,
+    /// Channel name.
+    pub channel_id: String,
+    /// Invoked chaincode (namespace of the rwset).
+    pub chaincode: String,
+    /// Creator (client) certificate.
+    pub creator_cert: Certificate,
+    /// The client's parsed envelope signature.
+    pub client_signature: Signature,
+    /// Bytes covered by the client signature (marshaled payload).
+    pub signed_payload: Vec<u8>,
+    /// Decoded reads.
+    pub reads: Vec<ReadEntry>,
+    /// Decoded writes.
+    pub writes: Vec<WriteEntry>,
+    /// Decoded endorsements.
+    pub endorsements: Vec<DecodedEndorsement>,
+    /// Size of the marshaled envelope in bytes.
+    pub envelope_len: usize,
+}
+
+/// Fully decodes a marshaled envelope, walking every nested layer.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when any layer is structurally malformed — a
+/// missing action, unparsable certificate, or invalid DER signature.
+pub fn decode_transaction(envelope_bytes: &[u8]) -> Result<DecodedTransaction, WireError> {
+    let envelope = Envelope::unmarshal(envelope_bytes)?;
+    let payload = Payload::unmarshal(&envelope.payload)?;
+    let ch = ChannelHeader::unmarshal(&payload.header.channel_header)?;
+    let sig_header = SignatureHeader::unmarshal(&payload.header.signature_header)?;
+    let creator = SerializedIdentity::unmarshal(&sig_header.creator)?;
+    let creator_cert = Certificate::from_bytes(&creator.id_bytes)
+        .map_err(|_| WireError::Semantic("bad creator certificate"))?;
+    let client_signature = fabric_crypto::der::decode_signature(&envelope.signature)
+        .map_err(|_| WireError::Semantic("bad client signature DER"))?;
+
+    let tx = Transaction::unmarshal(&payload.data)?;
+    let action = tx
+        .actions
+        .first()
+        .ok_or(WireError::Semantic("transaction has no actions"))?;
+    let cap = ChaincodeActionPayload::unmarshal(&action.payload)?;
+    let prp_bytes = &cap.action.proposal_response_payload;
+    let prp = ProposalResponsePayload::unmarshal(prp_bytes)?;
+    let cc_action = ChaincodeAction::unmarshal(&prp.extension)?;
+    let txrw = TxReadWriteSet::unmarshal(&cc_action.results)?;
+
+    let mut chaincode = cc_action.chaincode_id.name.clone();
+    let mut reads = Vec::new();
+    let mut writes = Vec::new();
+    for ns in &txrw.ns_rwset {
+        if chaincode.is_empty() {
+            chaincode = ns.namespace.clone();
+        }
+        let kv = KvRwSet::unmarshal(&ns.rwset)?;
+        for r in kv.reads {
+            reads.push((r.key, r.version));
+        }
+        for w in kv.writes {
+            if !w.is_delete {
+                writes.push((w.key, w.value));
+            }
+        }
+    }
+
+    let mut endorsements = Vec::with_capacity(cap.action.endorsements.len());
+    for e in &cap.action.endorsements {
+        let ident = SerializedIdentity::unmarshal(&e.endorser)?;
+        let endorser_cert = Certificate::from_bytes(&ident.id_bytes)
+            .map_err(|_| WireError::Semantic("bad endorser certificate"))?;
+        let signature = fabric_crypto::der::decode_signature(&e.signature)
+            .map_err(|_| WireError::Semantic("bad endorsement DER"))?;
+        let mut signed_message = prp_bytes.clone();
+        signed_message.extend_from_slice(&e.endorser);
+        endorsements.push(DecodedEndorsement {
+            endorser_cert,
+            signature_der: e.signature.clone(),
+            signature,
+            signed_message,
+        });
+    }
+
+    Ok(DecodedTransaction {
+        tx_id: ch.tx_id,
+        channel_id: ch.channel_id,
+        chaincode,
+        creator_cert,
+        client_signature,
+        signed_payload: envelope.payload,
+        reads,
+        writes,
+        endorsements,
+        envelope_len: envelope_bytes.len(),
+    })
+}
+
+/// Builds a block from ordered envelopes, with the orderer's signature in
+/// the metadata (paper Figure 1 step 2 / §2.1.2 step 1).
+pub fn build_block(
+    number: u64,
+    previous_hash: &[u8],
+    envelopes: Vec<Vec<u8>>,
+    orderer: &SigningIdentity,
+) -> Block {
+    let data = BlockData { data: envelopes };
+    let data_hash = hash_block_data(&data);
+    let header = BlockHeader {
+        number,
+        previous_hash: previous_hash.to_vec(),
+        data_hash: data_hash.to_vec(),
+    };
+    let mut metadata = BlockMetadata::default();
+    metadata.metadata[metadata_index::TRANSACTIONS_FILTER] = vec![0u8; data.data.len()];
+    let sig_header = SignatureHeader {
+        creator: serialize_identity(orderer),
+        nonce: number.to_be_bytes().to_vec(),
+    };
+    let signed = block_signature_message(&sig_header.marshal(), &header);
+    let sig = orderer.sign(&signed);
+    let md_sig = MetadataSignature {
+        signature_header: sig_header.marshal(),
+        signature: fabric_crypto::der::encode_signature(&sig),
+    };
+    metadata.metadata[metadata_index::SIGNATURES] = md_sig.marshal();
+    Block { header, data, metadata }
+}
+
+/// The bytes covered by the orderer's block signature.
+pub fn block_signature_message(sig_header_bytes: &[u8], header: &BlockHeader) -> Vec<u8> {
+    let mut msg = sig_header_bytes.to_vec();
+    msg.extend_from_slice(&header.marshal());
+    msg
+}
+
+/// SHA-256 over the serialized block data (Fabric's `data_hash`).
+pub fn hash_block_data(data: &BlockData) -> [u8; 32] {
+    let mut h = fabric_crypto::Sha256::new();
+    for env in &data.data {
+        h.update(env);
+    }
+    h.finalize()
+}
+
+/// SHA-256 of the marshaled block header — the block hash chained into the
+/// next block's `previous_hash`.
+pub fn block_header_hash(header: &BlockHeader) -> [u8; 32] {
+    sha256(&header.marshal())
+}
+
+/// A decoded block: header facts plus every transaction decoded.
+#[derive(Debug, Clone)]
+pub struct DecodedBlock {
+    /// Block number.
+    pub number: u64,
+    /// Header hash (chains to the next block).
+    pub header_hash: [u8; 32],
+    /// `previous_hash` from the header.
+    pub previous_hash: Vec<u8>,
+    /// `data_hash` from the header.
+    pub data_hash: Vec<u8>,
+    /// Orderer certificate recovered from the signature metadata.
+    pub orderer_cert: Certificate,
+    /// Parsed orderer signature.
+    pub orderer_signature: Signature,
+    /// Bytes the orderer signed.
+    pub orderer_signed_message: Vec<u8>,
+    /// Every transaction, fully decoded in order.
+    pub txs: Vec<DecodedTransaction>,
+    /// Size of the marshaled block.
+    pub block_len: usize,
+}
+
+/// Fully decodes a marshaled block: header, orderer signature and all
+/// transactions. This is the software peer's "retrieve block and
+/// transaction data" step (paper §2.1.3 bottleneck 1).
+///
+/// # Errors
+///
+/// Returns [`WireError`] when any layer of any transaction is malformed.
+pub fn decode_block(block_bytes: &[u8]) -> Result<DecodedBlock, WireError> {
+    let block = Block::unmarshal(block_bytes)?;
+    decode_block_struct(&block, block_bytes.len())
+}
+
+/// Decodes an already-unmarshaled [`Block`] structure.
+///
+/// # Errors
+///
+/// Returns [`WireError`] when any nested layer is malformed.
+pub fn decode_block_struct(block: &Block, block_len: usize) -> Result<DecodedBlock, WireError> {
+    let md_sig_bytes = &block.metadata.metadata[metadata_index::SIGNATURES];
+    let md_sig = MetadataSignature::unmarshal(md_sig_bytes)?;
+    let sig_header = SignatureHeader::unmarshal(&md_sig.signature_header)?;
+    let orderer_ident = SerializedIdentity::unmarshal(&sig_header.creator)?;
+    let orderer_cert = Certificate::from_bytes(&orderer_ident.id_bytes)
+        .map_err(|_| WireError::Semantic("bad orderer certificate"))?;
+    let orderer_signature = fabric_crypto::der::decode_signature(&md_sig.signature)
+        .map_err(|_| WireError::Semantic("bad orderer signature DER"))?;
+    let orderer_signed_message =
+        block_signature_message(&md_sig.signature_header, &block.header);
+
+    let mut txs = Vec::with_capacity(block.data.data.len());
+    for env in &block.data.data {
+        txs.push(decode_transaction(env)?);
+    }
+    Ok(DecodedBlock {
+        number: block.header.number,
+        header_hash: block_header_hash(&block.header),
+        previous_hash: block.header.previous_hash.clone(),
+        data_hash: block.header.data_hash.clone(),
+        orderer_cert,
+        orderer_signature,
+        orderer_signed_message,
+        txs,
+        block_len,
+    })
+}
+
+/// Counts the deepest chain of nested protobuf messages in a marshaled
+/// envelope — documentation for the paper's "up to 23 layers" claim.
+pub fn envelope_nesting_depth() -> usize {
+    // Envelope > Payload > Header > SignatureHeader > SerializedIdentity >
+    // certificate — counted structurally on the transaction path:
+    // Envelope(1) Payload(2) data->Transaction(3) TransactionAction(4)
+    // ChaincodeActionPayload(5) ChaincodeEndorsedAction(6)
+    // ProposalResponsePayload(7) ChaincodeAction(8) TxReadWriteSet(9)
+    // NsReadWriteSet(10) KvRwSet(11) KvRead/KvWrite(12) Version(13)
+    // plus the header path: Header, ChannelHeader/SignatureHeader,
+    // SerializedIdentity, endorsement identities... Fabric counts ~23
+    // including the identity and certificate layers.
+    13
+}
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::identity::{Msp, Role};
+
+    fn test_identities() -> (SigningIdentity, SigningIdentity, SigningIdentity, SigningIdentity) {
+        let mut msp = Msp::new(2);
+        let client = msp.issue(0, Role::Client, 0).unwrap();
+        let e1 = msp.issue(0, Role::Peer, 0).unwrap();
+        let e2 = msp.issue(1, Role::Peer, 0).unwrap();
+        let orderer = msp.issue(0, Role::Orderer, 0).unwrap();
+        (client, e1, e2, orderer)
+    }
+
+    fn sample_params() -> TxParams<'static> {
+        TxParams {
+            channel_id: "mychannel",
+            chaincode: "smallbank",
+            reads: vec![("acc1".into(), Some(Version { block_num: 1, tx_num: 0 }))],
+            writes: vec![("acc1".into(), b"950".to_vec())],
+            nonce: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            timestamp: 1_700_000_000,
+        }
+    }
+
+    #[test]
+    fn build_and_decode_transaction() {
+        let (client, e1, e2, _) = test_identities();
+        let built = build_transaction(&client, &[&e1, &e2], &sample_params());
+        let decoded = decode_transaction(&built.envelope).unwrap();
+        assert_eq!(decoded.tx_id, built.tx_id);
+        assert_eq!(decoded.chaincode, "smallbank");
+        assert_eq!(decoded.reads.len(), 1);
+        assert_eq!(decoded.writes.len(), 1);
+        assert_eq!(decoded.endorsements.len(), 2);
+        assert_eq!(decoded.creator_cert, *client.certificate());
+    }
+
+    #[test]
+    fn client_signature_verifies() {
+        let (client, e1, _, _) = test_identities();
+        let built = build_transaction(&client, &[&e1], &sample_params());
+        let decoded = decode_transaction(&built.envelope).unwrap();
+        assert!(decoded
+            .creator_cert
+            .public_key
+            .verify(&decoded.signed_payload, &decoded.client_signature)
+            .is_ok());
+    }
+
+    #[test]
+    fn endorsement_signatures_verify() {
+        let (client, e1, e2, _) = test_identities();
+        let built = build_transaction(&client, &[&e1, &e2], &sample_params());
+        let decoded = decode_transaction(&built.envelope).unwrap();
+        for e in &decoded.endorsements {
+            assert!(e
+                .endorser_cert
+                .public_key
+                .verify(&e.signed_message, &e.signature)
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn tampered_payload_fails_client_signature() {
+        let (client, e1, _, _) = test_identities();
+        let built = build_transaction(&client, &[&e1], &sample_params());
+        let mut env = Envelope::unmarshal(&built.envelope).unwrap();
+        // Flip a byte inside the signed payload.
+        let n = env.payload.len() / 2;
+        env.payload[n] ^= 0xff;
+        let decoded = decode_transaction(&env.marshal()).unwrap();
+        assert!(decoded
+            .creator_cert
+            .public_key
+            .verify(&decoded.signed_payload, &decoded.client_signature)
+            .is_err());
+    }
+
+    #[test]
+    fn block_build_and_decode() {
+        let (client, e1, e2, orderer) = test_identities();
+        let envs: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                let mut p = sample_params();
+                p.nonce = vec![i as u8; 8];
+                build_transaction(&client, &[&e1, &e2], &p).envelope
+            })
+            .collect();
+        let block = build_block(7, &[0u8; 32], envs, &orderer);
+        let bytes = block.marshal();
+        let decoded = decode_block(&bytes).unwrap();
+        assert_eq!(decoded.number, 7);
+        assert_eq!(decoded.txs.len(), 4);
+        assert_eq!(decoded.orderer_cert, *orderer.certificate());
+        // Orderer signature verifies.
+        assert!(decoded
+            .orderer_cert
+            .public_key
+            .verify(&decoded.orderer_signed_message, &decoded.orderer_signature)
+            .is_ok());
+    }
+
+    #[test]
+    fn tampered_block_header_fails_orderer_signature() {
+        let (client, e1, _, orderer) = test_identities();
+        let env = build_transaction(&client, &[&e1], &sample_params()).envelope;
+        let mut block = build_block(1, &[0u8; 32], vec![env], &orderer);
+        block.header.number = 99; // forge
+        let decoded = decode_block(&block.marshal()).unwrap();
+        assert!(decoded
+            .orderer_cert
+            .public_key
+            .verify(&decoded.orderer_signed_message, &decoded.orderer_signature)
+            .is_err());
+    }
+
+    #[test]
+    fn data_hash_matches_contents() {
+        let (client, e1, _, orderer) = test_identities();
+        let env = build_transaction(&client, &[&e1], &sample_params()).envelope;
+        let block = build_block(1, &[0u8; 32], vec![env], &orderer);
+        assert_eq!(block.header.data_hash, hash_block_data(&block.data).to_vec());
+    }
+
+    #[test]
+    fn tx_id_is_deterministic_in_nonce_and_creator() {
+        let (client, e1, _, _) = test_identities();
+        let a = build_transaction(&client, &[&e1], &sample_params());
+        let b = build_transaction(&client, &[&e1], &sample_params());
+        assert_eq!(a.tx_id, b.tx_id);
+        let mut p2 = sample_params();
+        p2.nonce = vec![9; 8];
+        let c = build_transaction(&client, &[&e1], &p2);
+        assert_ne!(a.tx_id, c.tx_id);
+    }
+
+    #[test]
+    fn decode_rejects_actionless_transaction() {
+        let (client, _, _, _) = test_identities();
+        // Build a payload with an empty Transaction.
+        let sig_header = SignatureHeader {
+            creator: serialize_identity(&client),
+            nonce: vec![1],
+        };
+        let payload = Payload {
+            header: Header {
+                channel_header: ChannelHeader::default().marshal(),
+                signature_header: sig_header.marshal(),
+            },
+            data: Transaction::default().marshal(),
+        };
+        let pb = payload.marshal();
+        let sig = client.sign(&pb);
+        let env = Envelope {
+            payload: pb,
+            signature: fabric_crypto::der::encode_signature(&sig),
+        };
+        assert!(decode_transaction(&env.marshal()).is_err());
+    }
+
+    #[test]
+    fn envelope_size_is_dominated_by_certificates() {
+        // The paper: "at least 73% size of a block is attributed to
+        // repetitive appearance of the same identities".
+        let (client, e1, e2, _) = test_identities();
+        let built = build_transaction(&client, &[&e1, &e2], &sample_params());
+        // The client identity appears twice (payload signature header and
+        // transaction action header), plus one certificate per endorser.
+        let cert_len = 2 * client.certificate().to_bytes().len()
+            + e1.certificate().to_bytes().len()
+            + e2.certificate().to_bytes().len();
+        let frac = cert_len as f64 / built.envelope.len() as f64;
+        assert!(frac > 0.7, "certificates are {:.0}% of the envelope", frac * 100.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the protobuf wire format and Fabric
+//! messages: arbitrary-value roundtrips and decoder robustness.
+
+use fabric_protos::messages::*;
+use fabric_protos::wire::{put_varint, varint_len, ProtoReader, ProtoWriter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varint_roundtrip(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        prop_assert_eq!(buf.len(), varint_len(v));
+        let mut w = ProtoWriter::new();
+        w.uint64(1, v);
+        let bytes = w.into_bytes();
+        if v != 0 {
+            let mut r = ProtoReader::new(&bytes);
+            let f = r.next_field().unwrap().unwrap();
+            prop_assert_eq!(f.value, v);
+        }
+    }
+
+    #[test]
+    fn reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = ProtoReader::new(&bytes);
+        // Drain until end or error; must never panic.
+        while let Ok(Some(_)) = r.next_field() {}
+    }
+
+    #[test]
+    fn envelope_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..256),
+                          signature in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let e = Envelope { payload, signature };
+        prop_assert_eq!(Envelope::unmarshal(&e.marshal()).unwrap(), e);
+    }
+
+    #[test]
+    fn channel_header_roundtrip(
+        header_type in 0u64..10,
+        version in 0u64..5,
+        timestamp in any::<u32>(),
+        channel in "[a-z]{0,16}",
+        tx_id in "[0-9a-f]{0,64}",
+    ) {
+        let ch = ChannelHeader {
+            header_type,
+            version,
+            timestamp: timestamp as u64,
+            channel_id: channel,
+            tx_id,
+            epoch: 0,
+        };
+        prop_assert_eq!(ChannelHeader::unmarshal(&ch.marshal()).unwrap(), ch);
+    }
+
+    #[test]
+    fn kv_rwset_roundtrip(
+        reads in proptest::collection::vec(("[a-z0-9_]{1,24}", proptest::option::of((any::<u32>(), any::<u16>()))), 0..8),
+        writes in proptest::collection::vec(("[a-z0-9_]{1,24}", proptest::collection::vec(any::<u8>(), 0..32)), 0..8),
+    ) {
+        let rw = KvRwSet {
+            reads: reads
+                .into_iter()
+                .map(|(key, v)| KvRead {
+                    key,
+                    version: v.map(|(b, t)| Version { block_num: b as u64, tx_num: t as u64 }),
+                })
+                .collect(),
+            writes: writes
+                .into_iter()
+                .map(|(key, value)| KvWrite { key, is_delete: false, value })
+                .collect(),
+        };
+        prop_assert_eq!(KvRwSet::unmarshal(&rw.marshal()).unwrap(), rw);
+    }
+
+    #[test]
+    fn block_roundtrip(
+        number in any::<u32>(),
+        envelopes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 0..6),
+    ) {
+        let block = Block {
+            header: BlockHeader {
+                number: number as u64,
+                previous_hash: vec![1; 32],
+                data_hash: vec![2; 32],
+            },
+            data: BlockData { data: envelopes },
+            metadata: BlockMetadata::default(),
+        };
+        prop_assert_eq!(Block::unmarshal(&block.marshal()).unwrap(), block);
+    }
+
+    #[test]
+    fn unmarshal_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Envelope::unmarshal(&bytes);
+        let _ = Block::unmarshal(&bytes);
+        let _ = Transaction::unmarshal(&bytes);
+        let _ = KvRwSet::unmarshal(&bytes);
+        let _ = ChannelHeader::unmarshal(&bytes);
+        let _ = fabric_protos::txflow::decode_transaction(&bytes);
+        let _ = fabric_protos::txflow::decode_block(&bytes);
+    }
+}

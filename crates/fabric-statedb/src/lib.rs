@@ -1,0 +1,526 @@
+//! Versioned key-value state database (the LevelDB role in Fabric).
+//!
+//! Each peer "maintains its own copy of the ledger and current global
+//! state of the data in a state database" (paper §2.1.1). Values are
+//! versioned by *height* — the `(block, tx)` coordinate of the committing
+//! transaction — and the MVCC check of the validation phase compares the
+//! version observed at endorsement time against the current version
+//! (paper §2.1.2 step 3).
+//!
+//! Two stores are provided:
+//!
+//! * [`StateDb`] — the unbounded, thread-safe store used by software
+//!   peers;
+//! * [`BoundedStateDb`] — a capacity-limited store with an explicit
+//!   read/write-lock discipline, modeling the in-hardware BRAM/URAM
+//!   key-value store of the Blockchain Machine (paper §3.3: 8192 entries,
+//!   "internal locking mechanism to disallow reading of a key if it is
+//!   currently being written").
+
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A `(block, tx)` height: the version tag Fabric stores with each value
+/// ("its version created from block number and transaction sequence
+/// number", paper §3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Height {
+    /// Committing block number.
+    pub block_num: u64,
+    /// Transaction index within the block.
+    pub tx_num: u64,
+}
+
+impl Height {
+    /// Creates a height.
+    pub fn new(block_num: u64, tx_num: u64) -> Self {
+        Height { block_num, tx_num }
+    }
+}
+
+impl fmt::Display for Height {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block_num, self.tx_num)
+    }
+}
+
+/// A stored value with its version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionedValue {
+    /// The application value.
+    pub value: Vec<u8>,
+    /// Height of the transaction that wrote it.
+    pub version: Height,
+}
+
+/// A batch of writes applied atomically at commit.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    entries: Vec<(String, Option<Vec<u8>>)>,
+}
+
+impl WriteBatch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        WriteBatch::default()
+    }
+
+    /// Queues a put.
+    pub fn put(&mut self, key: impl Into<String>, value: Vec<u8>) -> &mut Self {
+        self.entries.push((key.into(), Some(value)));
+        self
+    }
+
+    /// Queues a delete.
+    pub fn delete(&mut self, key: impl Into<String>) -> &mut Self {
+        self.entries.push((key.into(), None));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(key, value-or-delete)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Option<&[u8]>)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v.as_deref()))
+    }
+}
+
+impl FromIterator<(String, Option<Vec<u8>>)> for WriteBatch {
+    fn from_iter<I: IntoIterator<Item = (String, Option<Vec<u8>>)>>(iter: I) -> Self {
+        WriteBatch { entries: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, Option<Vec<u8>>)> for WriteBatch {
+    fn extend<I: IntoIterator<Item = (String, Option<Vec<u8>>)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+/// Statistics counters for a state database.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateDbStats {
+    /// Total point reads served.
+    pub reads: u64,
+    /// Total writes applied.
+    pub writes: u64,
+    /// Reads that found no value.
+    pub misses: u64,
+}
+
+/// The unbounded, thread-safe versioned store used by software peers.
+///
+/// Cloning is cheap: clones share the same underlying map, matching how a
+/// peer's components all see one state database.
+///
+/// ```
+/// use fabric_statedb::{Height, StateDb, WriteBatch};
+/// let db = StateDb::new();
+/// let mut batch = WriteBatch::new();
+/// batch.put("k", b"v".to_vec());
+/// db.apply(&batch, Height::new(1, 0));
+/// assert_eq!(db.get("k").unwrap().value, b"v");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StateDb {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: BTreeMap<String, VersionedValue>,
+    stats: StateDbStats,
+}
+
+impl StateDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        StateDb::default()
+    }
+
+    /// Point read of the current value and version.
+    pub fn get(&self, key: &str) -> Option<VersionedValue> {
+        let mut g = self.inner.write();
+        g.stats.reads += 1;
+        let hit = g.map.get(key).cloned();
+        if hit.is_none() {
+            g.stats.misses += 1;
+        }
+        hit
+    }
+
+    /// Reads just the version (the MVCC hot path).
+    pub fn get_version(&self, key: &str) -> Option<Height> {
+        self.get(key).map(|v| v.version)
+    }
+
+    /// Applies a write batch, stamping every entry at `height`.
+    pub fn apply(&self, batch: &WriteBatch, height: Height) {
+        let mut g = self.inner.write();
+        for (key, value) in batch.iter() {
+            g.stats.writes += 1;
+            match value {
+                Some(v) => {
+                    g.map.insert(
+                        key.to_string(),
+                        VersionedValue { value: v.to_vec(), version: height },
+                    );
+                }
+                None => {
+                    g.map.remove(key);
+                }
+            }
+        }
+    }
+
+    /// Range scan over `[start, end)`, in key order.
+    pub fn range(&self, start: &str, end: &str) -> Vec<(String, VersionedValue)> {
+        let g = self.inner.read();
+        g.map
+            .range(start.to_string()..end.to_string())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    /// Whether the store has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the statistics counters.
+    pub fn stats(&self) -> StateDbStats {
+        self.inner.read().stats
+    }
+
+    /// MVCC validation of a read set: every `(key, expected)` pair must
+    /// match the current version exactly ("the read set of each
+    /// transaction is computed again by accessing the state database, and
+    /// is compared to the read set from the endorsement phase",
+    /// paper §2.1.2).
+    pub fn mvcc_validate(&self, reads: &[(String, Option<Height>)]) -> bool {
+        reads
+            .iter()
+            .all(|(key, expected)| self.get_version(key) == *expected)
+    }
+}
+
+/// Outcome of a bounded-store operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedDbError {
+    /// The store is at capacity and the key was not already present.
+    Full {
+        /// Configured entry capacity.
+        capacity: usize,
+    },
+    /// The key is currently locked by a writer.
+    Locked,
+}
+
+impl fmt::Display for BoundedDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundedDbError::Full { capacity } => {
+                write!(f, "in-hardware state database full ({capacity} entries)")
+            }
+            BoundedDbError::Locked => write!(f, "key is locked by an in-flight write"),
+        }
+    }
+}
+
+impl std::error::Error for BoundedDbError {}
+
+/// Capacity-limited store modeling the Blockchain Machine's in-hardware
+/// database (BRAM/URAM, 8192 entries in the paper's configuration).
+///
+/// Writes take a per-key lock for the duration of
+/// [`BoundedStateDb::begin_write`] .. [`BoundedStateDb::finish_write`];
+/// reads of a locked key fail with [`BoundedDbError::Locked`],
+/// reproducing the hardware's "internal locking mechanism to disallow
+/// reading of a key if it is currently being written" (paper §3.3).
+#[derive(Debug)]
+pub struct BoundedStateDb {
+    map: BTreeMap<String, VersionedValue>,
+    locked: std::collections::HashSet<String>,
+    capacity: usize,
+    stats: StateDbStats,
+}
+
+/// The paper's configured in-hardware database capacity (§4.1).
+pub const HW_DB_DEFAULT_CAPACITY: usize = 8192;
+
+impl BoundedStateDb {
+    /// Creates a store holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        BoundedStateDb {
+            map: BTreeMap::new(),
+            locked: std::collections::HashSet::new(),
+            capacity,
+            stats: StateDbStats::default(),
+        }
+    }
+
+    /// Point read; fails when the key is write-locked.
+    ///
+    /// # Errors
+    ///
+    /// [`BoundedDbError::Locked`] if a write is in flight on `key`.
+    pub fn get(&mut self, key: &str) -> Result<Option<VersionedValue>, BoundedDbError> {
+        if self.locked.contains(key) {
+            return Err(BoundedDbError::Locked);
+        }
+        self.stats.reads += 1;
+        let hit = self.map.get(key).cloned();
+        if hit.is_none() {
+            self.stats.misses += 1;
+        }
+        Ok(hit)
+    }
+
+    /// Reads just the version.
+    ///
+    /// # Errors
+    ///
+    /// [`BoundedDbError::Locked`] if a write is in flight on `key`.
+    pub fn get_version(&mut self, key: &str) -> Result<Option<Height>, BoundedDbError> {
+        Ok(self.get(key)?.map(|v| v.version))
+    }
+
+    /// Acquires the write lock on `key` (the hardware write port claiming
+    /// the address).
+    ///
+    /// # Errors
+    ///
+    /// [`BoundedDbError::Locked`] when already locked, or
+    /// [`BoundedDbError::Full`] when the key is new and capacity is
+    /// exhausted.
+    pub fn begin_write(&mut self, key: &str) -> Result<(), BoundedDbError> {
+        if self.locked.contains(key) {
+            return Err(BoundedDbError::Locked);
+        }
+        if !self.map.contains_key(key) && self.map.len() + self.locked.len() >= self.capacity {
+            return Err(BoundedDbError::Full { capacity: self.capacity });
+        }
+        self.locked.insert(key.to_string());
+        Ok(())
+    }
+
+    /// Completes a write started with [`BoundedStateDb::begin_write`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key was not locked — that is a protocol bug in the
+    /// caller, not a runtime condition.
+    pub fn finish_write(&mut self, key: &str, value: Vec<u8>, version: Height) {
+        assert!(self.locked.remove(key), "finish_write without begin_write: {key}");
+        self.stats.writes += 1;
+        self.map
+            .insert(key.to_string(), VersionedValue { value, version });
+    }
+
+    /// Convenience: locked write in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BoundedStateDb::begin_write`].
+    pub fn put(
+        &mut self,
+        key: &str,
+        value: Vec<u8>,
+        version: Height,
+    ) -> Result<(), BoundedDbError> {
+        self.begin_write(key)?;
+        self.finish_write(key, value, version);
+        Ok(())
+    }
+
+    /// Number of committed entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Snapshot of the statistics counters.
+    pub fn stats(&self) -> StateDbStats {
+        self.stats
+    }
+}
+
+impl Default for BoundedStateDb {
+    fn default() -> Self {
+        BoundedStateDb::new(HW_DB_DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        b.put("a", b"1".to_vec());
+        db.apply(&b, Height::new(1, 0));
+        assert_eq!(db.get("a").unwrap().value, b"1");
+        assert_eq!(db.get_version("a"), Some(Height::new(1, 0)));
+        assert_eq!(db.get("missing"), None);
+    }
+
+    #[test]
+    fn later_write_bumps_version() {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        b.put("a", b"1".to_vec());
+        db.apply(&b, Height::new(1, 0));
+        db.apply(&b, Height::new(2, 3));
+        assert_eq!(db.get_version("a"), Some(Height::new(2, 3)));
+    }
+
+    #[test]
+    fn delete_removes_key() {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        b.put("a", b"1".to_vec());
+        db.apply(&b, Height::new(1, 0));
+        let mut d = WriteBatch::new();
+        d.delete("a");
+        db.apply(&d, Height::new(2, 0));
+        assert_eq!(db.get("a"), None);
+    }
+
+    #[test]
+    fn mvcc_validation_semantics() {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        b.put("a", b"1".to_vec());
+        db.apply(&b, Height::new(1, 0));
+        // matching version -> valid
+        assert!(db.mvcc_validate(&[("a".into(), Some(Height::new(1, 0)))]));
+        // stale version -> conflict
+        assert!(!db.mvcc_validate(&[("a".into(), Some(Height::new(0, 0)))]));
+        // read of a missing key expected missing -> valid
+        assert!(db.mvcc_validate(&[("nope".into(), None)]));
+        // key appeared since endorsement -> conflict
+        assert!(!db.mvcc_validate(&[("a".into(), None)]));
+    }
+
+    #[test]
+    fn range_scan_is_ordered() {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        for k in ["b", "a", "c", "d"] {
+            b.put(k, k.as_bytes().to_vec());
+        }
+        db.apply(&b, Height::new(1, 0));
+        let keys: Vec<String> = db.range("a", "d").into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn stats_track_reads_and_misses() {
+        let db = StateDb::new();
+        db.get("x");
+        let mut b = WriteBatch::new();
+        b.put("x", vec![1]);
+        db.apply(&b, Height::new(1, 0));
+        db.get("x");
+        let s = db.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.writes, 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let db = StateDb::new();
+        let db2 = db.clone();
+        let mut b = WriteBatch::new();
+        b.put("k", vec![7]);
+        db.apply(&b, Height::new(1, 0));
+        assert_eq!(db2.get("k").unwrap().value, vec![7]);
+    }
+
+    #[test]
+    fn bounded_capacity_enforced() {
+        let mut db = BoundedStateDb::new(2);
+        db.put("a", vec![1], Height::new(1, 0)).unwrap();
+        db.put("b", vec![2], Height::new(1, 1)).unwrap();
+        assert_eq!(
+            db.put("c", vec![3], Height::new(1, 2)),
+            Err(BoundedDbError::Full { capacity: 2 })
+        );
+        // overwriting an existing key is fine at capacity
+        db.put("a", vec![9], Height::new(2, 0)).unwrap();
+        assert_eq!(db.get("a").unwrap().unwrap().value, vec![9]);
+    }
+
+    #[test]
+    fn bounded_lock_blocks_reads() {
+        let mut db = BoundedStateDb::new(8);
+        db.put("k", vec![1], Height::new(1, 0)).unwrap();
+        db.begin_write("k").unwrap();
+        assert_eq!(db.get("k"), Err(BoundedDbError::Locked));
+        assert_eq!(db.begin_write("k"), Err(BoundedDbError::Locked));
+        db.finish_write("k", vec![2], Height::new(2, 0));
+        assert_eq!(db.get("k").unwrap().unwrap().value, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish_write without begin_write")]
+    fn bounded_finish_without_begin_panics() {
+        let mut db = BoundedStateDb::new(8);
+        db.finish_write("k", vec![1], Height::new(1, 0));
+    }
+
+    #[test]
+    fn bounded_locked_slots_count_toward_capacity() {
+        let mut db = BoundedStateDb::new(1);
+        db.begin_write("a").unwrap();
+        assert_eq!(db.begin_write("b"), Err(BoundedDbError::Full { capacity: 1 }));
+        db.finish_write("a", vec![1], Height::new(1, 0));
+    }
+
+    #[test]
+    fn default_capacity_matches_paper() {
+        let db = BoundedStateDb::default();
+        assert_eq!(db.capacity(), 8192);
+    }
+
+    #[test]
+    fn write_batch_from_iterator() {
+        let batch: WriteBatch = vec![
+            ("a".to_string(), Some(vec![1])),
+            ("b".to_string(), None),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(batch.len(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the state database: MVCC semantics and the
+//! bounded store's capacity/locking invariants.
+
+use fabric_statedb::{BoundedStateDb, Height, StateDb, WriteBatch};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn last_write_wins(ops in proptest::collection::vec(("[a-d]", any::<u8>()), 1..64)) {
+        let db = StateDb::new();
+        let mut expected = std::collections::HashMap::new();
+        for (i, (key, value)) in ops.iter().enumerate() {
+            let mut b = WriteBatch::new();
+            b.put(key.clone(), vec![*value]);
+            db.apply(&b, Height::new(1, i as u64));
+            expected.insert(key.clone(), (*value, i as u64));
+        }
+        for (key, (value, tx)) in expected {
+            let got = db.get(&key).unwrap();
+            prop_assert_eq!(got.value, vec![value]);
+            prop_assert_eq!(got.version, Height::new(1, tx));
+        }
+    }
+
+    #[test]
+    fn mvcc_accepts_exactly_current_versions(keys in proptest::collection::vec("[a-f]{1,4}", 1..16)) {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        for k in &keys {
+            b.put(k.clone(), b"x".to_vec());
+        }
+        db.apply(&b, Height::new(3, 7));
+        // Reading current versions validates...
+        let reads: Vec<(String, Option<Height>)> =
+            keys.iter().map(|k| (k.clone(), Some(Height::new(3, 7)))).collect();
+        prop_assert!(db.mvcc_validate(&reads));
+        // ...any stale version fails.
+        let stale: Vec<(String, Option<Height>)> =
+            keys.iter().map(|k| (k.clone(), Some(Height::new(2, 0)))).collect();
+        prop_assert!(!db.mvcc_validate(&stale));
+    }
+
+    #[test]
+    fn bounded_never_exceeds_capacity(
+        capacity in 1usize..16,
+        keys in proptest::collection::vec("[a-z]{1,6}", 0..64),
+    ) {
+        let mut db = BoundedStateDb::new(capacity);
+        for (i, k) in keys.iter().enumerate() {
+            let _ = db.put(k, vec![1], Height::new(1, i as u64));
+            prop_assert!(db.len() <= capacity);
+        }
+    }
+
+    #[test]
+    fn bounded_overwrites_always_succeed(keys in proptest::collection::vec("[a-c]", 1..32)) {
+        // Capacity 3 fits the whole alphabet {a,b,c}; overwrites must
+        // never report Full.
+        let mut db = BoundedStateDb::new(3);
+        for (i, k) in keys.iter().enumerate() {
+            prop_assert!(db.put(k, vec![i as u8], Height::new(1, i as u64)).is_ok());
+        }
+    }
+
+    #[test]
+    fn range_scan_matches_reference(
+        entries in proptest::collection::btree_map("[a-z]{1,5}", any::<u8>(), 0..32),
+        bounds in ("[a-z]{1,2}", "[a-z]{1,2}"),
+    ) {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        for (k, v) in &entries {
+            b.put(k.clone(), vec![*v]);
+        }
+        db.apply(&b, Height::new(1, 0));
+        let (lo, hi) = bounds;
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let got: Vec<String> = db.range(&lo, &hi).into_iter().map(|(k, _)| k).collect();
+        let expected: Vec<String> = entries
+            .range(lo..hi)
+            .map(|(k, _)| k.clone())
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

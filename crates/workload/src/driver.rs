@@ -1,0 +1,356 @@
+//! Caliper-equivalent workload driver.
+//!
+//! "Caliper clients create random transactions, and a total of 150,000
+//! transactions (30,000 repeated 5 times) are used to compute average
+//! metrics" (paper §4.2). The driver generates random operations against
+//! a [`FabricNetwork`], collects the blocks the ordering service cuts,
+//! and measures the envelope-size profile the performance models consume.
+
+use fabric_node::client::ClientError;
+use fabric_node::network::FabricNetwork;
+use fabric_peer::BlockProfile;
+use fabric_protos::messages::Block;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which benchmark application to drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// smallbank (banking operations).
+    Smallbank,
+    /// drm (digital asset management).
+    Drm,
+    /// smallbank's split-payment variant with `n` destinations
+    /// (Figure 12c's rw knob).
+    SplitPayment(usize),
+}
+
+impl Workload {
+    /// The chaincode name this workload invokes.
+    pub fn chaincode(&self) -> &'static str {
+        match self {
+            Workload::Smallbank | Workload::SplitPayment(_) => "smallbank",
+            Workload::Drm => "drm",
+        }
+    }
+}
+
+/// The workload driver.
+#[derive(Debug)]
+pub struct Driver {
+    workload: Workload,
+    accounts: usize,
+    rng: StdRng,
+    submitted: u64,
+    aborted: u64,
+}
+
+impl Driver {
+    /// Creates a driver over `accounts` pre-created customers/contents.
+    pub fn new(workload: Workload, accounts: usize, seed: u64) -> Self {
+        Driver {
+            workload,
+            accounts: accounts.max(2),
+            rng: StdRng::seed_from_u64(seed),
+            submitted: 0,
+            aborted: 0,
+        }
+    }
+
+    /// Creates the initial accounts/contents, committing the resulting
+    /// blocks to the endorsers so later simulations see them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClientError`] from the setup invocations.
+    pub fn prepare(&mut self, net: &mut FabricNetwork) -> Result<Vec<Block>, ClientError> {
+        let mut blocks = Vec::new();
+        for i in 0..self.accounts {
+            let result = match self.workload {
+                Workload::Smallbank | Workload::SplitPayment(_) => net.submit_invocation(
+                    0,
+                    "smallbank",
+                    "create_account",
+                    &[format!("acc{i}"), "10000".into(), "10000".into()],
+                ),
+                Workload::Drm => net.submit_invocation(
+                    0,
+                    "drm",
+                    "register_content",
+                    &[format!("content{i}"), format!("owner{i}"), "10".into()],
+                ),
+            }?;
+            blocks.extend(result);
+        }
+        if let Some(block) = net.cut_partial_block() {
+            blocks.push(block);
+        }
+        // Commit setup writes to the endorsers so follow-up simulations
+        // read fresh versions.
+        for block in &blocks {
+            let decoded = fabric_protos::txflow::decode_block(&block.marshal())
+                .expect("driver-produced blocks decode");
+            let writes: Vec<fabric_node::endorser::TxWrites> = decoded
+                .txs
+                .iter()
+                .enumerate()
+                .map(|(i, tx)| (i as u64, tx.writes.clone()))
+                .collect();
+            net.commit_to_endorsers(decoded.number, &writes);
+        }
+        Ok(blocks)
+    }
+
+    /// Submits one random operation; returns any blocks cut.
+    ///
+    /// Operations mix: for smallbank, the Caliper distribution across the
+    /// six functions (send_payment-heavy); for drm, purchase-heavy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClientError`]; business aborts (insufficient funds)
+    /// are counted and retried with a deposit instead.
+    pub fn submit_one(&mut self, net: &mut FabricNetwork) -> Result<Vec<Block>, ClientError> {
+        self.submitted += 1;
+        let a = self.rng.gen_range(0..self.accounts);
+        let b = (a + 1 + self.rng.gen_range(0..self.accounts - 1)) % self.accounts;
+        let result = match self.workload {
+            Workload::Smallbank => {
+                let op = self.rng.gen_range(0..100);
+                if op < 40 {
+                    net.submit_invocation(
+                        0,
+                        "smallbank",
+                        "send_payment",
+                        &[format!("acc{a}"), format!("acc{b}"), "5".into()],
+                    )
+                } else if op < 55 {
+                    net.submit_invocation(
+                        0,
+                        "smallbank",
+                        "deposit_checking",
+                        &[format!("acc{a}"), "10".into()],
+                    )
+                } else if op < 70 {
+                    net.submit_invocation(
+                        0,
+                        "smallbank",
+                        "transact_savings",
+                        &[format!("acc{a}"), "10".into()],
+                    )
+                } else if op < 85 {
+                    net.submit_invocation(
+                        0,
+                        "smallbank",
+                        "write_check",
+                        &[format!("acc{a}"), "5".into()],
+                    )
+                } else {
+                    net.submit_invocation(
+                        0,
+                        "smallbank",
+                        "amalgamate",
+                        &[format!("acc{a}"), format!("acc{b}")],
+                    )
+                }
+            }
+            Workload::SplitPayment(n) => {
+                let mut args = vec![format!("acc{a}"), "2".into()];
+                for k in 0..n {
+                    args.push(format!("acc{}", (b + k) % self.accounts));
+                }
+                net.submit_invocation(0, "smallbank", "send_payment_split", &args)
+            }
+            Workload::Drm => {
+                let op = self.rng.gen_range(0..100);
+                if op < 70 {
+                    net.submit_invocation(
+                        0,
+                        "drm",
+                        "purchase_license",
+                        &[format!("content{a}"), format!("user{}", self.submitted)],
+                    )
+                } else {
+                    net.submit_invocation(
+                        0,
+                        "drm",
+                        "transfer_ownership",
+                        &[format!("content{a}"), format!("owner{}", self.submitted)],
+                    )
+                }
+            }
+        };
+        match result {
+            Err(ClientError::Endorse(_)) => {
+                // Business abort (e.g. insufficient funds): Caliper counts
+                // these as failed submissions; top the account up instead.
+                self.aborted += 1;
+                net.submit_invocation(
+                    0,
+                    self.workload.chaincode(),
+                    if self.workload == Workload::Drm {
+                        "register_content"
+                    } else {
+                        "deposit_checking"
+                    },
+                    &if self.workload == Workload::Drm {
+                        vec![format!("content{a}"), "owner".into(), "1".into()]
+                    } else {
+                        vec![format!("acc{a}"), "1000".into()]
+                    },
+                )
+            }
+            other => other,
+        }
+    }
+
+    /// Generates blocks until `count` of them have been cut, committing
+    /// each block's writes back to the endorsers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClientError`] from submissions.
+    pub fn generate_blocks(
+        &mut self,
+        net: &mut FabricNetwork,
+        count: usize,
+    ) -> Result<Vec<Block>, ClientError> {
+        let mut blocks = Vec::new();
+        while blocks.len() < count {
+            for block in self.submit_one(net)? {
+                let decoded = fabric_protos::txflow::decode_block(&block.marshal())
+                    .expect("driver-produced blocks decode");
+                let writes: Vec<fabric_node::endorser::TxWrites> = decoded
+                    .txs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, tx)| (i as u64, tx.writes.clone()))
+                    .collect();
+                net.commit_to_endorsers(decoded.number, &writes);
+                blocks.push(block);
+            }
+        }
+        Ok(blocks)
+    }
+
+    /// `(submitted, aborted)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.submitted, self.aborted)
+    }
+}
+
+/// Measures a [`BlockProfile`] from real blocks: average envelope size,
+/// endorsements, and rwset shape. This grounds the performance models in
+/// the actual wire data (the profile, not the paper's assumed constants).
+pub fn measure_profile(blocks: &[Block]) -> BlockProfile {
+    let mut txs = 0usize;
+    let mut bytes = 0usize;
+    let mut ends = 0usize;
+    let mut reads = 0usize;
+    let mut writes = 0usize;
+    for block in blocks {
+        let decoded =
+            fabric_protos::txflow::decode_block(&block.marshal()).expect("blocks decode");
+        for tx in &decoded.txs {
+            txs += 1;
+            bytes += tx.envelope_len;
+            ends += tx.endorsements.len();
+            reads += tx.reads.len();
+            writes += tx.writes.len();
+        }
+    }
+    let txs_nz = txs.max(1);
+    BlockProfile {
+        num_txs: txs / blocks.len().max(1),
+        endorsements_per_tx: (ends + txs_nz / 2) / txs_nz,
+        reads_per_tx: (reads + txs_nz / 2) / txs_nz,
+        writes_per_tx: (writes + txs_nz / 2) / txs_nz,
+        tx_bytes: bytes / txs_nz,
+        policy_extra_visits: 0,
+        needed_endorsements: (ends + txs_nz / 2) / txs_nz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drm::Drm;
+    use crate::smallbank::Smallbank;
+    use fabric_node::network::FabricNetworkBuilder;
+    use fabric_policy::parse;
+
+    fn smallbank_net(block_size: usize) -> FabricNetwork {
+        let mut net = FabricNetworkBuilder::new()
+            .orgs(2)
+            .block_size(block_size)
+            .chaincode("smallbank", parse("2-outof-2 orgs").unwrap())
+            .build();
+        net.install_chaincode(|| Box::new(Smallbank::new()));
+        net
+    }
+
+    #[test]
+    fn prepare_creates_accounts() {
+        let mut net = smallbank_net(4);
+        let mut driver = Driver::new(Workload::Smallbank, 8, 42);
+        let blocks = driver.prepare(&mut net).unwrap();
+        assert!(!blocks.is_empty());
+        // Endorser state sees the accounts.
+        let db = net.reference_db();
+        assert!(db.get("acc0_checking").is_some());
+        assert!(db.get("acc7_savings").is_some());
+    }
+
+    #[test]
+    fn generates_blocks_of_configured_size() {
+        let mut net = smallbank_net(5);
+        let mut driver = Driver::new(Workload::Smallbank, 8, 42);
+        driver.prepare(&mut net).unwrap();
+        let blocks = driver.generate_blocks(&mut net, 3).unwrap();
+        assert_eq!(blocks.len(), 3);
+        for b in &blocks {
+            assert_eq!(b.data.data.len(), 5);
+        }
+    }
+
+    #[test]
+    fn profile_reflects_smallbank_shape() {
+        let mut net = smallbank_net(6);
+        let mut driver = Driver::new(Workload::Smallbank, 8, 7);
+        driver.prepare(&mut net).unwrap();
+        let blocks = driver.generate_blocks(&mut net, 2).unwrap();
+        let profile = measure_profile(&blocks);
+        assert_eq!(profile.endorsements_per_tx, 2); // 2of2 policy
+        assert!(profile.tx_bytes > 2_000, "envelope {}", profile.tx_bytes);
+        assert!(profile.reads_per_tx >= 1);
+        assert!(profile.writes_per_tx >= 1);
+    }
+
+    #[test]
+    fn drm_workload_runs() {
+        let mut net = FabricNetworkBuilder::new()
+            .orgs(2)
+            .block_size(4)
+            .chaincode("drm", parse("2-outof-2 orgs").unwrap())
+            .build();
+        net.install_chaincode(|| Box::new(Drm::new()));
+        let mut driver = Driver::new(Workload::Drm, 6, 9);
+        driver.prepare(&mut net).unwrap();
+        let blocks = driver.generate_blocks(&mut net, 2).unwrap();
+        let profile = measure_profile(&blocks);
+        // drm: fewer db accesses than smallbank.
+        assert!(profile.reads_per_tx <= 1);
+        assert!(profile.writes_per_tx <= 1);
+    }
+
+    #[test]
+    fn split_payment_inflates_rw() {
+        let mut net = smallbank_net(4);
+        let mut driver = Driver::new(Workload::SplitPayment(4), 8, 11);
+        driver.prepare(&mut net).unwrap();
+        let blocks = driver.generate_blocks(&mut net, 2).unwrap();
+        let profile = measure_profile(&blocks);
+        assert!(profile.reads_per_tx >= 4, "reads {}", profile.reads_per_tx);
+        assert!(profile.writes_per_tx >= 4, "writes {}", profile.writes_per_tx);
+    }
+}

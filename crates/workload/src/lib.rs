@@ -1,0 +1,18 @@
+//! Caliper-equivalent workloads for the Blockchain Machine evaluation.
+//!
+//! Implements the benchmarks of paper §4.2: [`smallbank`] (six banking
+//! operations plus the Figure 12c split-payment extension) and [`drm`]
+//! (digital asset management with fewer database accesses), plus a
+//! Caliper-like [`driver`] that generates random transactions against a
+//! `FabricNetwork` and measures workload profiles for the performance
+//! models.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod drm;
+pub mod smallbank;
+
+pub use driver::{measure_profile, Driver, Workload};
+pub use drm::Drm;
+pub use smallbank::Smallbank;

@@ -1,0 +1,1 @@
+//! Integration test package; all tests live under `tests/`.

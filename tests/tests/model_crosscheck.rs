@@ -1,0 +1,77 @@
+//! Cross-checks between the detailed per-block hardware simulation and
+//! the closed-form throughput model — the reproduction of the paper's
+//! "performance reported by our simulator is always within 1% of actual
+//! measurements" validation (§4.1), here between our two model layers.
+
+use std::collections::HashMap;
+
+use bmac_hw::processor::ProcessorConfig;
+use bmac_hw::{validate_block, BMacMachine, Geometry, HwModelConfig, HwWorkload};
+use bmac_protocol::BmacSender;
+use fabric_node::network::FabricNetworkBuilder;
+use fabric_policy::parse;
+use fabric_sim::as_millis;
+use workload::{Driver, Smallbank, Workload};
+
+/// Runs `blocks` real blocks of `ntx` smallbank transactions through the
+/// detailed machine and returns the mean block latency (ms).
+fn detailed_latency_ms(ntx: usize, validators: usize, blocks: usize) -> f64 {
+    let mut net = FabricNetworkBuilder::new()
+        .orgs(2)
+        .block_size(ntx)
+        .chaincode("smallbank", parse("2-outof-2 orgs").unwrap())
+        .build();
+    net.install_chaincode(|| Box::new(Smallbank::new()));
+    let mut driver = Driver::new(Workload::Smallbank, 8, 5);
+    let mut all = driver.prepare(&mut net).unwrap();
+    all.extend(driver.generate_blocks(&mut net, blocks).unwrap());
+
+    let policies: HashMap<String, fabric_policy::Policy> =
+        [("smallbank".to_string(), parse("2-outof-2 orgs").unwrap())]
+            .into_iter()
+            .collect();
+    let mut latencies = Vec::new();
+    for block in all.iter().filter(|b| b.data.data.len() == ntx) {
+        // Fresh machine per block: the closed-form model is the latency
+        // of one block in isolation (queueing behind earlier blocks is a
+        // throughput, not latency, effect).
+        let mut machine = BMacMachine::new(
+            ProcessorConfig::new(Geometry::new(validators, 2), 2),
+            &policies,
+        );
+        let mut sender = BmacSender::new();
+        for p in sender.send_block(block).unwrap() {
+            machine.ingest_wire(&p.encode().unwrap(), 0).unwrap();
+        }
+        while let Some(result) = machine.get_block_data() {
+            latencies.push(as_millis(result.stats.latency()));
+        }
+    }
+    assert!(!latencies.is_empty(), "no full-size blocks were produced");
+    latencies.iter().sum::<f64>() / latencies.len() as f64
+}
+
+#[test]
+fn detailed_simulation_matches_closed_form_within_5pct() {
+    for &(ntx, validators) in &[(8usize, 2usize), (12, 4), (16, 8)] {
+        let detailed = detailed_latency_ms(ntx, validators, 2);
+        let cfg = HwModelConfig::new(Geometry::new(validators, 2));
+        let closed = as_millis(validate_block(&cfg, &HwWorkload::smallbank(ntx)).total);
+        let rel = (detailed - closed).abs() / closed;
+        assert!(
+            rel < 0.05,
+            "ntx={ntx} V={validators}: detailed {detailed:.3} ms vs closed-form {closed:.3} ms ({:.1}% apart)",
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn hardware_latency_scales_down_with_validators() {
+    let l2 = detailed_latency_ms(16, 2, 1);
+    let l8 = detailed_latency_ms(16, 8, 1);
+    assert!(
+        l8 < l2 * 0.55,
+        "8 validators ({l8:.2} ms) should be well under half of 2 validators ({l2:.2} ms)"
+    );
+}
