@@ -23,8 +23,8 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("sha256_64B", |b| b.iter(|| sha256(black_box(&msg[..64]))));
     group.bench_function("sha256_3400B", |b| b.iter(|| sha256(black_box(&msg))));
 
-    let k = U256::from_hex("deadbeefcafebabe1122334455667788aabbccddeeff00112233445566778899")
-        .unwrap();
+    let k =
+        U256::from_hex("deadbeefcafebabe1122334455667788aabbccddeeff00112233445566778899").unwrap();
     group.bench_function("p256_scalar_mul", |b| {
         b.iter(|| AffinePoint::generator().mul_scalar(black_box(&k)))
     });

@@ -13,7 +13,9 @@ const COMPLEX: &str =
 fn bench_policy(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy");
 
-    group.bench_function("parse_complex", |b| b.iter(|| parse(black_box(COMPLEX)).unwrap()));
+    group.bench_function("parse_complex", |b| {
+        b.iter(|| parse(black_box(COMPLEX)).unwrap())
+    });
 
     let policy = parse(COMPLEX).unwrap();
     group.bench_function("compile_circuit", |b| {

@@ -1,7 +1,7 @@
 //! Microbenchmarks of the BMac protocol sender and receiver.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use bmac_protocol::{BmacReceiver, BmacSender};
+use criterion::{criterion_group, criterion_main, Criterion};
 use fabric_node::chaincode::KvChaincode;
 use fabric_node::network::FabricNetworkBuilder;
 use fabric_policy::parse;

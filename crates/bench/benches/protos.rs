@@ -21,7 +21,10 @@ fn bench_protos(c: &mut Criterion) {
         channel_id: "mychannel",
         chaincode: "smallbank",
         reads: vec![("acc1".into(), None), ("acc2".into(), None)],
-        writes: vec![("acc1".into(), b"10".to_vec()), ("acc2".into(), b"20".to_vec())],
+        writes: vec![
+            ("acc1".into(), b"10".to_vec()),
+            ("acc2".into(), b"20".to_vec()),
+        ],
         nonce: vec![7u8; 24],
         timestamp: 1_700_000_000,
     };
@@ -44,7 +47,9 @@ fn bench_protos(c: &mut Criterion) {
         .collect();
     let block = build_block(0, &[0u8; 32], envs, &orderer);
     let block_bytes = block.marshal();
-    group.bench_function("marshal_block_10tx", |b| b.iter(|| black_box(&block).marshal()));
+    group.bench_function("marshal_block_10tx", |b| {
+        b.iter(|| black_box(&block).marshal())
+    });
     group.bench_function("decode_block_10tx", |b| {
         b.iter(|| decode_block(black_box(&block_bytes)).unwrap())
     });

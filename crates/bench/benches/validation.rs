@@ -3,9 +3,9 @@
 
 use std::collections::HashMap;
 
+use bmac_core::{BMacPeer, BmacConfig};
 use bmac_protocol::BmacSender;
 use criterion::{criterion_group, criterion_main, Criterion};
-use bmac_core::{BMacPeer, BmacConfig};
 use fabric_crypto::identity::{Msp, Role};
 use fabric_node::chaincode::KvChaincode;
 use fabric_node::network::FabricNetworkBuilder;
@@ -47,12 +47,16 @@ fn bench_validation(c: &mut Criterion) {
 
     let blocks = make_blocks(1, 8);
     let policies: HashMap<String, fabric_policy::Policy> =
-        [("kv".to_string(), parse("2-outof-2 orgs").unwrap())].into_iter().collect();
+        [("kv".to_string(), parse("2-outof-2 orgs").unwrap())]
+            .into_iter()
+            .collect();
 
     group.bench_function("sw_pipeline_8tx_4workers", |b| {
         b.iter(|| {
             let validator = ValidatorPipeline::new(test_msp(), policies.clone(), 4);
-            validator.validate_and_commit(black_box(&blocks[0])).unwrap()
+            validator
+                .validate_and_commit(black_box(&blocks[0]))
+                .unwrap()
         })
     });
 

@@ -74,7 +74,10 @@ fn main() {
     table(
         &["config", "wire bytes"],
         &[
-            vec!["identities removed (paper)".to_string(), format!("{}", stats.bmac_wire_bytes)],
+            vec![
+                "identities removed (paper)".to_string(),
+                format!("{}", stats.bmac_wire_bytes),
+            ],
             vec!["identities kept".to_string(), format!("{without_removal}")],
         ],
     );

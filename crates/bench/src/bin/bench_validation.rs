@@ -1,0 +1,373 @@
+//! Validation hot-path benchmark: before/after numbers for the
+//! verify/vscc overhaul, emitted as `BENCH_validation.json`.
+//!
+//! Measures, on real blocks with real cryptography:
+//!
+//! * single-thread `verify_prehashed`: the preserved seed path
+//!   (bit-serial Shamir + Fermat inversions) versus the optimized path
+//!   (fixed-base comb + split wNAF + binary/batched inversion +
+//!   projective x-check), plus the batched-inversion variant and
+//!   signing;
+//! * the functional pipeline on a 100-tx smallbank-shaped block:
+//!   per-stage µs, blocks/s, sigs/s, for 1/2/4 vscc workers (wall-clock
+//!   scaling depends on host vCPUs, recorded alongside), with the
+//!   paper-calibrated model's makespan scaling as the
+//!   hardware-independent reference;
+//! * the signature cache: underlying verifications and hit rate when an
+//!   identical block is re-verified.
+//!
+//! Run via `scripts/bench.sh` (or `cargo run --release --bin
+//! bench_validation`); the JSON lands in the repo root so the perf
+//! trajectory is tracked from PR to PR.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bmac_bench::{heading, table};
+use fabric_crypto::ecdsa::{batch_s_inverses, SigningKey};
+use fabric_crypto::identity::{Msp, Role};
+use fabric_crypto::sha256::sha256;
+use fabric_crypto::Signature;
+use fabric_node::chaincode::KvChaincode;
+use fabric_node::network::FabricNetworkBuilder;
+use fabric_peer::pipeline::ValidatorPipeline;
+use fabric_peer::{BlockProfile, SwValidatorModel};
+use fabric_policy::parse;
+
+const BLOCK_TXS: usize = 100;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let mut json = JsonObject::new();
+    json.raw("generated_by", "\"bench_validation\"");
+    json.number(
+        "host_cpus",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1) as f64,
+    );
+
+    let single = bench_single_thread();
+    json.object("single_thread", single);
+
+    let (pipeline, cache) = bench_pipeline();
+    json.object("pipeline", pipeline);
+    json.object("signature_cache", cache);
+
+    let path = out_path();
+    std::fs::write(&path, json.finish()).expect("write BENCH_validation.json");
+    println!("\nwrote {}", path.display());
+}
+
+/// Seed-vs-fast single-thread crypto microbenchmarks.
+fn bench_single_thread() -> JsonObject {
+    heading("single-thread ECDSA: seed path vs optimized path");
+    let key = SigningKey::from_seed(b"bench_validation");
+    let vk = key.verifying_key();
+
+    // A block's worth of distinct signatures: every path cycles the same
+    // workload so cache effects (the 590 KiB comb table, wNAF tables)
+    // are charged equally.
+    let digests: Vec<[u8; 32]> = (0..100u32).map(|i| sha256(&i.to_be_bytes())).collect();
+    let sigs: Vec<Signature> = digests.iter().map(|d| key.sign_prehashed(d)).collect();
+
+    // Warm up both paths (fixed-base table, per-key table).
+    vk.verify_prehashed(&digests[0], &sigs[0]).unwrap();
+    vk.verify_prehashed_shamir(&digests[0], &sigs[0]).unwrap();
+
+    let mut cursor = 0usize;
+    let next = |cursor: &mut usize| {
+        *cursor = (*cursor + 1) % sigs.len();
+        *cursor
+    };
+    let seed_us = time_us(200, || {
+        let i = next(&mut cursor);
+        vk.verify_prehashed_shamir(&digests[i], &sigs[i]).unwrap()
+    });
+    let fast_us = time_us(200, || {
+        let i = next(&mut cursor);
+        vk.verify_prehashed(&digests[i], &sigs[i]).unwrap()
+    });
+    let sign_us = time_us(200, || {
+        let i = next(&mut cursor);
+        let _ = key.sign_prehashed(&digests[i]);
+    });
+
+    // Batched: amortize s-inverses over a block of signatures.
+    let t0 = Instant::now();
+    let reps = 5;
+    for _ in 0..reps {
+        let sinvs = batch_s_inverses(&sigs);
+        for ((sig, digest), sinv) in sigs.iter().zip(&digests).zip(&sinvs) {
+            vk.verify_prehashed_with_sinv(digest, sig, sinv).unwrap();
+        }
+    }
+    let batched_us = t0.elapsed().as_secs_f64() * 1e6 / (reps * sigs.len()) as f64;
+
+    let speedup = seed_us / fast_us;
+    table(
+        &["path", "µs/op", "speedup vs seed"],
+        &[
+            vec![
+                "verify (seed: shamir+fermat)".to_string(),
+                format!("{seed_us:.1}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "verify (fixed-base + wNAF)".to_string(),
+                format!("{fast_us:.1}"),
+                format!("{speedup:.2}x"),
+            ],
+            vec![
+                "verify (batched s⁻¹)".to_string(),
+                format!("{batched_us:.1}"),
+                format!("{:.2}x", seed_us / batched_us),
+            ],
+            vec![
+                "sign (fixed-base comb)".to_string(),
+                format!("{sign_us:.1}"),
+                String::new(),
+            ],
+        ],
+    );
+    assert!(
+        speedup >= 2.0,
+        "single-thread verify speedup regressed below 2x: {speedup:.2}x"
+    );
+
+    let mut o = JsonObject::new();
+    o.number("verify_seed_us", seed_us);
+    o.number("verify_fast_us", fast_us);
+    o.number("verify_fast_batched_us", batched_us);
+    o.number("sign_us", sign_us);
+    o.number("verify_speedup", speedup);
+    o.number("verify_speedup_batched", seed_us / batched_us);
+    o
+}
+
+/// Functional-pipeline benchmark on a 100-tx block.
+fn bench_pipeline() -> (JsonObject, JsonObject) {
+    heading(&format!(
+        "functional pipeline: {BLOCK_TXS}-tx smallbank block"
+    ));
+    let mut net = FabricNetworkBuilder::new()
+        .orgs(2)
+        .block_size(BLOCK_TXS)
+        .chaincode("kv", parse("2-outof-2 orgs").unwrap())
+        .build();
+    net.install_chaincode(|| Box::new(KvChaincode::new("kv")));
+    let mut blocks = Vec::new();
+    let mut i = 0usize;
+    while blocks.len() < 2 {
+        blocks.extend(
+            net.submit_invocation(0, "kv", "put", &[format!("k{i}"), "1".into()])
+                .unwrap(),
+        );
+        i += 1;
+    }
+
+    let make_validator = |workers: usize| {
+        let mut msp = Msp::new(2);
+        msp.issue(0, Role::Peer, 0).unwrap();
+        msp.issue(1, Role::Peer, 0).unwrap();
+        msp.issue(0, Role::Orderer, 0).unwrap();
+        msp.issue(0, Role::Client, 0).unwrap();
+        let mut policies = HashMap::new();
+        policies.insert("kv".to_string(), parse("2-outof-2 orgs").unwrap());
+        ValidatorPipeline::new(msp, policies, workers)
+    };
+
+    // Warm the global crypto tables once so per-worker runs are steady.
+    make_validator(1)
+        .verify_block_signatures(&blocks[0])
+        .unwrap();
+
+    let model = |workers: usize| {
+        SwValidatorModel::new(workers).validate_block(&BlockProfile::smallbank(BLOCK_TXS))
+    };
+    let model1 = model(1);
+
+    let mut rows = Vec::new();
+    let mut worker_objs = Vec::new();
+    let mut vscc1_us = 0.0f64;
+    for &workers in &WORKER_COUNTS {
+        let v = make_validator(workers);
+        let result = v.validate_and_commit(&blocks[0]).expect("validation");
+        assert_eq!(result.valid_count(), BLOCK_TXS);
+        let sigs = v.verifications() as f64; // orderer + client + endorsements
+        let t = result.timings;
+        let vscc_us = t.verify_vscc_us as f64;
+        if workers == 1 {
+            vscc1_us = vscc_us;
+        }
+        let total_us = t.total_excl_ledger_us() as f64;
+        let blocks_per_s = 1e6 / total_us;
+        let sigs_per_s = sigs * 1e6 / vscc_us.max(1.0);
+        let measured_speedup = vscc1_us / vscc_us.max(1.0);
+        let mb = model(workers);
+        let model_speedup = model1.verify_vscc as f64 / mb.verify_vscc as f64;
+        rows.push(vec![
+            format!("{workers}"),
+            format!("{:.0}", t.unmarshal_us as f64),
+            format!("{vscc_us:.0}"),
+            format!("{:.0}", t.mvcc_us as f64),
+            format!("{:.0}", t.statedb_commit_us as f64),
+            format!("{blocks_per_s:.1}"),
+            format!("{sigs_per_s:.0}"),
+            format!("{measured_speedup:.2}x"),
+            format!("{model_speedup:.2}x"),
+        ]);
+        let mut o = JsonObject::new();
+        o.number("workers", workers as f64);
+        o.number("unmarshal_us", t.unmarshal_us as f64);
+        o.number("block_verify_us", t.block_verify_us as f64);
+        o.number("verify_vscc_us", vscc_us);
+        o.number("mvcc_us", t.mvcc_us as f64);
+        o.number("statedb_commit_us", t.statedb_commit_us as f64);
+        o.number("total_excl_ledger_us", total_us);
+        o.number("blocks_per_s", blocks_per_s);
+        o.number("sigs_per_s", sigs_per_s);
+        o.number("measured_vscc_speedup_vs_1", measured_speedup);
+        o.number("model_vscc_speedup_vs_1", model_speedup);
+        worker_objs.push(o);
+    }
+    table(
+        &[
+            "workers",
+            "unmarshal_us",
+            "vscc_us",
+            "mvcc_us",
+            "commit_us",
+            "blocks/s",
+            "sigs/s",
+            "meas.scaling",
+            "model.scaling",
+        ],
+        &rows,
+    );
+    println!(
+        "(measured scaling is bounded by host vCPUs = {}; the calibrated model shows the \
+         work-stealing pool's makespan scaling)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let mut pipeline = JsonObject::new();
+    pipeline.number("block_txs", BLOCK_TXS as f64);
+    pipeline.array("workers", worker_objs);
+
+    // Cache: re-verifying identical signatures must not touch ECDSA.
+    heading("signature cache: identical block re-verified");
+    let v = make_validator(2);
+    v.verify_block_signatures(&blocks[1]).unwrap();
+    let cold = v.verifications();
+    v.verify_block_signatures(&blocks[1]).unwrap();
+    let warm = v.verifications() - cold;
+    let stats = v.sig_cache_stats();
+    table(
+        &["pass", "underlying verifications"],
+        &[
+            vec!["first (cold)".to_string(), format!("{cold}")],
+            vec!["second (cached)".to_string(), format!("{warm}")],
+        ],
+    );
+    println!(
+        "cache: {} hits / {} misses (hit rate {:.1}%)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    assert_eq!(
+        warm, 0,
+        "identical block must be fully served by the signature cache"
+    );
+
+    let mut cache = JsonObject::new();
+    cache.number("first_pass_verifications", cold as f64);
+    cache.number("second_pass_verifications", warm as f64);
+    cache.number("hits", stats.hits as f64);
+    cache.number("misses", stats.misses as f64);
+    cache.number("hit_rate", stats.hit_rate());
+    (pipeline, cache)
+}
+
+fn time_us<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn out_path() -> std::path::PathBuf {
+    // Walk up from the executable/current dir to the workspace root
+    // (where ROADMAP.md lives); fall back to CWD.
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if dir.join("ROADMAP.md").exists() {
+            return dir.join("BENCH_validation.json");
+        }
+        if !dir.pop() {
+            return std::path::PathBuf::from("BENCH_validation.json");
+        }
+    }
+}
+
+/// Tiny hand-rolled JSON emitter (no serde in the offline toolchain).
+struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    fn new() -> Self {
+        JsonObject { fields: Vec::new() }
+    }
+
+    fn raw(&mut self, key: &str, value: &str) {
+        self.fields.push((key.to_string(), value.to_string()));
+    }
+
+    fn number(&mut self, key: &str, value: f64) {
+        let rendered = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{}", value as i64)
+        } else {
+            format!("{value:.3}")
+        };
+        self.raw(key, &rendered);
+    }
+
+    fn object(&mut self, key: &str, value: JsonObject) {
+        let rendered = value.finish_inline();
+        self.raw(key, &rendered);
+    }
+
+    fn array(&mut self, key: &str, values: Vec<JsonObject>) {
+        let inner: Vec<String> = values.into_iter().map(|v| v.finish_inline()).collect();
+        self.raw(key, &format!("[{}]", inner.join(", ")));
+    }
+
+    fn finish_inline(self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write!(out, "\"{k}\": {v}").unwrap();
+        }
+        out.push('}');
+        out
+    }
+
+    fn finish(self) -> String {
+        let mut out = String::from("{\n");
+        let n = self.fields.len();
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            writeln!(out, "  \"{k}\": {v}{comma}").unwrap();
+        }
+        out.push_str("}\n");
+        out
+    }
+}

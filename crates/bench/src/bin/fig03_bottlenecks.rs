@@ -11,9 +11,14 @@ use fabric_sim::as_millis;
 fn main() {
     heading("Figure 3a: profile of validator operations (% of CPU time)");
     let mut rows = Vec::new();
-    for &(block_size, vcpus) in
-        &[(50usize, 4usize), (50, 8), (100, 8), (200, 4), (200, 8), (200, 16)]
-    {
+    for &(block_size, vcpus) in &[
+        (50usize, 4usize),
+        (50, 8),
+        (100, 8),
+        (200, 4),
+        (200, 8),
+        (200, 16),
+    ] {
         let model = SwValidatorModel::new(vcpus);
         let p = model.cpu_profile(&BlockProfile::smallbank(block_size));
         rows.push(vec![
@@ -28,15 +33,30 @@ fn main() {
         ]);
     }
     table(
-        &["block", "vCPUs", "ecdsa_verify", "sha256", "unmarshal", "statedb", "ledger", "other"],
+        &[
+            "block",
+            "vCPUs",
+            "ecdsa_verify",
+            "sha256",
+            "unmarshal",
+            "statedb",
+            "ledger",
+            "other",
+        ],
         &rows,
     );
 
     heading("Figure 3b: block validation breakdown (ms)");
     let mut rows = Vec::new();
-    for &(block_size, vcpus) in
-        &[(50usize, 4usize), (100, 4), (200, 4), (50, 8), (100, 8), (200, 8), (200, 16)]
-    {
+    for &(block_size, vcpus) in &[
+        (50usize, 4usize),
+        (100, 4),
+        (200, 4),
+        (50, 8),
+        (100, 8),
+        (200, 8),
+        (200, 16),
+    ] {
         let model = SwValidatorModel::new(vcpus);
         let b = model.validate_block(&BlockProfile::smallbank(block_size));
         rows.push(vec![
@@ -50,7 +70,15 @@ fn main() {
         ]);
     }
     table(
-        &["block", "vCPUs", "unmarshal", "verify_vscc", "statedb/mvcc", "ledger", "total(excl ledger)"],
+        &[
+            "block",
+            "vCPUs",
+            "unmarshal",
+            "verify_vscc",
+            "statedb/mvcc",
+            "ledger",
+            "total(excl ledger)",
+        ],
         &rows,
     );
 
@@ -60,10 +88,30 @@ fn main() {
     let b = model.validate_block(&BlockProfile::smallbank(200));
     let statedb_share = as_millis(b.mvcc + b.statedb_commit) / as_millis(b.total_excl_ledger());
     let checks = vec![
-        ShapeCheck::new("ecdsa_verify share (%, ~40)", 40.0, profile.share(profile.ecdsa), 0.25),
-        ShapeCheck::new("sha256 share (%, ~10)", 10.0, profile.share(profile.sha256), 0.35),
-        ShapeCheck::new("unmarshal share (%, ~10)", 10.0, profile.share(profile.unmarshal), 0.5),
-        ShapeCheck::new("statedb share of validation (%, 10-20)", 15.0, statedb_share * 100.0, 0.5),
+        ShapeCheck::new(
+            "ecdsa_verify share (%, ~40)",
+            40.0,
+            profile.share(profile.ecdsa),
+            0.25,
+        ),
+        ShapeCheck::new(
+            "sha256 share (%, ~10)",
+            10.0,
+            profile.share(profile.sha256),
+            0.35,
+        ),
+        ShapeCheck::new(
+            "unmarshal share (%, ~10)",
+            10.0,
+            profile.share(profile.unmarshal),
+            0.5,
+        ),
+        ShapeCheck::new(
+            "statedb share of validation (%, 10-20)",
+            15.0,
+            statedb_share * 100.0,
+            0.5,
+        ),
     ];
     let failed = report_checks(&checks);
     std::process::exit(failed as i32);

@@ -85,7 +85,14 @@ fn main() {
         let _ = raw;
     }
     table(
-        &["ends/tx", "gossip wire", "bmac wire", "ratio", "savings", "identity share"],
+        &[
+            "ends/tx",
+            "gossip wire",
+            "bmac wire",
+            "ratio",
+            "savings",
+            "identity share",
+        ],
         &rows,
     );
 
@@ -139,7 +146,12 @@ fn main() {
             identity_share_max * 100.0,
             0.25,
         ),
-        ShapeCheck::new("p95 latency reduction (paper ~30%)", 30.0, (1.0 - b95 / g95) * 100.0, 0.5),
+        ShapeCheck::new(
+            "p95 latency reduction (paper ~30%)",
+            30.0,
+            (1.0 - b95 / g95) * 100.0,
+            0.5,
+        ),
         ShapeCheck::new(
             "ratio grows with endorsements (ratio4/ratio1 > 1)",
             1.4,

@@ -26,7 +26,10 @@ fn main() {
             format!("{:.1}", as_millis(sw.total_excl_ledger())),
             format!("{:.3}", as_millis(hw.protocol)),
             format!("{:.1}", as_millis(hw.total)),
-            format!("{:.1}x", as_millis(sw.total_excl_ledger()) / as_millis(hw.total)),
+            format!(
+                "{:.1}x",
+                as_millis(sw.total_excl_ledger()) / as_millis(hw.total)
+            ),
         ]);
     }
     table(
@@ -57,18 +60,43 @@ fn main() {
 
     let checks = vec![
         // One-sided: the paper claims "less than 0.2 ms" / "~40x".
-        ShapeCheck::at_least("hw protocol under 0.2ms (margin)", 1.0, 0.2 / as_millis(hw.protocol).max(1e-6), 0.0),
-        ShapeCheck::new("sw unmarshal ms (paper ~8)", 8.0, as_millis(sw.unmarshal), 0.3),
+        ShapeCheck::at_least(
+            "hw protocol under 0.2ms (margin)",
+            1.0,
+            0.2 / as_millis(hw.protocol).max(1e-6),
+            0.0,
+        ),
+        ShapeCheck::new(
+            "sw unmarshal ms (paper ~8)",
+            8.0,
+            as_millis(sw.unmarshal),
+            0.3,
+        ),
         ShapeCheck::new(
             "sw block validation ms (paper 35.9)",
             35.9,
             as_millis(sw.total_excl_ledger() - sw.unmarshal),
             0.2,
         ),
-        ShapeCheck::new("hw block validation ms (paper 9.7)", 9.7, as_millis(hw.total), 0.1),
-        ShapeCheck::new("validation speedup (paper 3.7x)", 3.7, validation_speedup, 0.2),
+        ShapeCheck::new(
+            "hw block validation ms (paper 9.7)",
+            9.7,
+            as_millis(hw.total),
+            0.1,
+        ),
+        ShapeCheck::new(
+            "validation speedup (paper 3.7x)",
+            3.7,
+            validation_speedup,
+            0.2,
+        ),
         ShapeCheck::new("overall speedup (paper 4.4x)", 4.4, overall, 0.2),
-        ShapeCheck::at_least("unmarshal speedup (paper ~40x)", 40.0, unmarshal_speedup, 0.1),
+        ShapeCheck::at_least(
+            "unmarshal speedup (paper ~40x)",
+            40.0,
+            unmarshal_speedup,
+            0.1,
+        ),
     ];
     let failed = report_checks(&checks);
     std::process::exit(failed as i32);

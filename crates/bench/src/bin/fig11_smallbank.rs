@@ -37,7 +37,13 @@ fn main() {
     }
     table(
         &[
-            "block", "sw 4vCPU", "sw 8vCPU", "sw 16vCPU", "bmac 4tv", "bmac 8tv", "bmac 16tv",
+            "block",
+            "sw 4vCPU",
+            "sw 8vCPU",
+            "sw 16vCPU",
+            "bmac 4tv",
+            "bmac 8tv",
+            "bmac 16tv",
         ],
         &rows,
     );
@@ -48,9 +54,18 @@ fn main() {
     let hw16 = hw_tps(250, 16);
     let hw32 = hw_tps(250, 32);
     println!();
-    println!("BMac 4 validators vs sw 16 vCPUs: {:.1}x (paper ~2x)", hw4 / sw16);
-    println!("peak (32 validators, block 250): {:.0} tps (paper 68,900)", hw32);
-    println!("speedup vs 16-vCPU software: {:.1}x (paper ~12x)", hw32 / sw16);
+    println!(
+        "BMac 4 validators vs sw 16 vCPUs: {:.1}x (paper ~2x)",
+        hw4 / sw16
+    );
+    println!(
+        "peak (32 validators, block 250): {:.0} tps (paper 68,900)",
+        hw32
+    );
+    println!(
+        "speedup vs 16-vCPU software: {:.1}x (paper ~12x)",
+        hw32 / sw16
+    );
 
     if projection {
         heading("simulator projection beyond 16 tx_validators (paper §4.3)");
@@ -65,20 +80,48 @@ fn main() {
                 format!("{:.2}", as_millis(r.total)),
             ]);
         }
-        table(&["tx_validators", "block", "tps", "block latency (ms)"], &rows);
+        table(
+            &["tx_validators", "block", "tps", "block latency (ms)"],
+            &rows,
+        );
     }
 
     let checks = vec![
-        ShapeCheck::new("sw tps, block 250, 4 vCPUs (paper 3,900)", 3_900.0, sw4, 0.15),
-        ShapeCheck::new("sw tps, block 250, 16 vCPUs (paper 5,600)", 5_600.0, sw16, 0.15),
+        ShapeCheck::new(
+            "sw tps, block 250, 4 vCPUs (paper 3,900)",
+            3_900.0,
+            sw4,
+            0.15,
+        ),
+        ShapeCheck::new(
+            "sw tps, block 250, 16 vCPUs (paper 5,600)",
+            5_600.0,
+            sw16,
+            0.15,
+        ),
         ShapeCheck::new("sw scaling 4->16 vCPUs (paper 1.5x)", 1.5, sw16 / sw4, 0.15),
-        ShapeCheck::new("bmac tps, block 250, 4 validators (paper 10,700)", 10_700.0, hw4, 0.05),
-        ShapeCheck::new("bmac tps, block 250, 16 validators (paper 38,400)", 38_400.0, hw16, 0.08),
+        ShapeCheck::new(
+            "bmac tps, block 250, 4 validators (paper 10,700)",
+            10_700.0,
+            hw4,
+            0.05,
+        ),
+        ShapeCheck::new(
+            "bmac tps, block 250, 16 validators (paper 38,400)",
+            38_400.0,
+            hw16,
+            0.08,
+        ),
         ShapeCheck::new("bmac scaling 4->16 (paper 3.6x)", 3.6, hw16 / hw4, 0.1),
         ShapeCheck::new("bmac4 / sw16 (paper ~2x)", 2.0, hw4 / sw16, 0.1),
         ShapeCheck::new("peak tps (paper 68,900)", 68_900.0, hw32, 0.05),
         ShapeCheck::new("peak speedup vs sw (paper ~12x)", 12.0, hw32 / sw16, 0.12),
-        ShapeCheck::new("projection 50 validators (paper ~100k)", 100_000.0, hw_tps(250, 50), 0.05),
+        ShapeCheck::new(
+            "projection 50 validators (paper ~100k)",
+            100_000.0,
+            hw_tps(250, 50),
+            0.05,
+        ),
         ShapeCheck::new(
             "projection 80 validators block 500 (paper ~150k)",
             150_000.0,

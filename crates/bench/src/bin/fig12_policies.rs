@@ -13,7 +13,9 @@ fn sw_policy_tps(ends: usize, extra_visits: usize) -> f64 {
     p.endorsements_per_tx = ends;
     p.needed_endorsements = ends;
     p.policy_extra_visits = extra_visits;
-    SwValidatorModel::new(8).validate_block(&p).throughput_tps(BLOCK)
+    SwValidatorModel::new(8)
+        .validate_block(&p)
+        .throughput_tps(BLOCK)
 }
 
 fn hw_policy_tps(v: usize, e: usize, ends: usize, needed: usize) -> f64 {
@@ -87,12 +89,32 @@ fn main() {
             sw_policy_tps(3, 0) / sw_policy_tps(3, 0),
             0.01,
         ),
-        ShapeCheck::new("bmac 2of3 tps (paper 19,800)", 19_800.0, hw_policy_tps(8, 2, 3, 2), 0.06),
-        ShapeCheck::new("bmac 3of3 tps (paper 10,400)", 10_400.0, hw_policy_tps(8, 2, 3, 3), 0.06),
+        ShapeCheck::new(
+            "bmac 2of3 tps (paper 19,800)",
+            19_800.0,
+            hw_policy_tps(8, 2, 3, 2),
+            0.06,
+        ),
+        ShapeCheck::new(
+            "bmac 3of3 tps (paper 10,400)",
+            10_400.0,
+            hw_policy_tps(8, 2, 3, 3),
+            0.06,
+        ),
         ShapeCheck::new("8x2 over 5x3 on 2of3 (paper +52%)", 1.52, ratio_2of3, 0.08),
         ShapeCheck::new("5x3 over 8x2 on 3of3 (paper +25%)", 1.25, ratio_3of3, 0.08),
-        ShapeCheck::new("sw complex policy tps (paper ~2,700)", 2_700.0, sw_complex, 0.15),
-        ShapeCheck::new("bmac complex == 2of4 (paper 19,800)", 19_800.0, hw_complex, 0.06),
+        ShapeCheck::new(
+            "sw complex policy tps (paper ~2,700)",
+            2_700.0,
+            sw_complex,
+            0.15,
+        ),
+        ShapeCheck::new(
+            "bmac complex == 2of4 (paper 19,800)",
+            19_800.0,
+            hw_complex,
+            0.06,
+        ),
     ];
 
     if rw_mode {
@@ -104,7 +126,9 @@ fn main() {
             let mut p = BlockProfile::smallbank(BLOCK);
             p.reads_per_tx = rw;
             p.writes_per_tx = rw;
-            let sw = SwValidatorModel::new(8).validate_block(&p).throughput_tps(BLOCK);
+            let sw = SwValidatorModel::new(8)
+                .validate_block(&p)
+                .throughput_tps(BLOCK);
             let mut w = HwWorkload::smallbank(BLOCK);
             w.reads_per_tx = rw;
             w.writes_per_tx = rw;

@@ -30,7 +30,14 @@ fn main() {
         ]);
     }
     table(
-        &["block", "vCPUs/validators", "sw smallbank", "sw drm", "bmac smallbank", "bmac drm"],
+        &[
+            "block",
+            "vCPUs/validators",
+            "sw smallbank",
+            "sw drm",
+            "bmac smallbank",
+            "bmac drm",
+        ],
         &rows,
     );
 

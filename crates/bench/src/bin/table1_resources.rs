@@ -17,13 +17,20 @@ fn main() {
             format!("{:.1}%", u.pcie_pct),
         ]);
     }
-    table(&["arch", "LUT/LUTRAM", "FF", "BRAM/URAM", "GT", "PCIe"], &rows);
+    table(
+        &["arch", "LUT/LUTRAM", "FF", "BRAM/URAM", "GT", "PCIe"],
+        &rows,
+    );
 
     heading("extrapolation beyond the paper (same model)");
     let mut rows = Vec::new();
     for v in [24usize, 32, 50] {
         let u = utilization(Geometry::new(v, 2));
-        rows.push(vec![format!("{v}x2"), format!("{:.1}%", u.lut_pct), format!("{:.1}%", u.ff_pct)]);
+        rows.push(vec![
+            format!("{v}x2"),
+            format!("{:.1}%", u.lut_pct),
+            format!("{:.1}%", u.ff_pct),
+        ]);
     }
     table(&["arch", "LUT", "FF"], &rows);
     println!(

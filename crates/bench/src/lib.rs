@@ -21,20 +21,27 @@ pub fn heading(title: &str) {
 /// Prints an aligned table.
 pub fn table<H: Display, C: Display>(headers: &[H], rows: &[Vec<C>]) {
     let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    let rows: Vec<Vec<String>> =
-        rows.iter().map(|r| r.iter().map(|c| c.to_string()).collect()).collect();
+    let rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(|c| c.to_string()).collect())
+        .collect();
+    // Size columns over headers AND rows: a row wider than the header
+    // extends `widths` (previously extra cells were clamped to the last
+    // header column's width, silently misaligning — and an empty header
+    // list would have panicked on `widths.len() - 1`).
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in &rows {
+        if row.len() > widths.len() {
+            widths.resize(row.len(), 0);
+        }
         for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
+            widths[i] = widths[i].max(cell.len());
         }
     }
     let fmt_row = |cells: &[String]| {
         let mut line = String::new();
         for (i, cell) in cells.iter().enumerate() {
-            line.push_str(&format!("{:>width$}  ", cell, width = widths[i.min(widths.len() - 1)]));
+            line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
         }
         println!("{}", line.trim_end());
     };
@@ -65,13 +72,25 @@ pub struct ShapeCheck {
 impl ShapeCheck {
     /// Creates a two-sided check.
     pub fn new(metric: impl Into<String>, paper: f64, measured: f64, tolerance: f64) -> Self {
-        ShapeCheck { metric: metric.into(), paper, measured, tolerance, one_sided: false }
+        ShapeCheck {
+            metric: metric.into(),
+            paper,
+            measured,
+            tolerance,
+            one_sided: false,
+        }
     }
 
     /// Creates a one-sided check: passes when `measured` meets or beats
     /// `paper` (within tolerance below it).
     pub fn at_least(metric: impl Into<String>, paper: f64, measured: f64, tolerance: f64) -> Self {
-        ShapeCheck { metric: metric.into(), paper, measured, tolerance, one_sided: true }
+        ShapeCheck {
+            metric: metric.into(),
+            paper,
+            measured,
+            tolerance,
+            one_sided: true,
+        }
     }
 
     /// Whether the measured value is within tolerance.
@@ -99,7 +118,11 @@ pub fn report_checks(checks: &[ShapeCheck]) -> usize {
                 format!("{:.1}", c.paper),
                 format!("{:.1}", c.measured),
                 format!("{:+.1}%", (c.measured - c.paper) / c.paper * 100.0),
-                if c.passes() { "ok".into() } else { "DEVIATES".into() },
+                if c.passes() {
+                    "ok".into()
+                } else {
+                    "DEVIATES".into()
+                },
             ]
         })
         .collect();
@@ -123,7 +146,10 @@ pub struct TransmissionModel {
 
 impl Default for TransmissionModel {
     fn default() -> Self {
-        TransmissionModel { base: 9 * MILLIS, jitter_mean: 3 * MILLIS }
+        TransmissionModel {
+            base: 9 * MILLIS,
+            jitter_mean: 3 * MILLIS,
+        }
     }
 }
 
@@ -162,6 +188,24 @@ pub fn cdf_summary(samples: &mut Samples) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn table_handles_ragged_rows() {
+        // Rows wider than the header (and an empty header list) used to
+        // misalign or panic; both must render cleanly now.
+        table(
+            &["a", "b"],
+            &[
+                vec![
+                    "1".to_string(),
+                    "2".to_string(),
+                    "extra-wide-cell".to_string(),
+                ],
+                vec!["x".to_string()],
+            ],
+        );
+        table::<&str, String>(&[], &[vec!["only".to_string(), "cells".to_string()]]);
+    }
 
     #[test]
     fn shape_check_passes_within_tolerance() {

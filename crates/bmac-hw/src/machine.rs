@@ -190,10 +190,14 @@ impl BMacMachine {
                 .iter()
                 .any(|ca| cert.verify_issued_by(ca).is_ok())
         {
-            return Err(MachineError::BadIdentity("certificate does not chain to a CA"));
+            return Err(MachineError::BadIdentity(
+                "certificate does not chain to a CA",
+            ));
         }
         if cert.node_id.encode() != packet.index {
-            return Err(MachineError::BadIdentity("sync id does not match certificate"));
+            return Err(MachineError::BadIdentity(
+                "sync id does not match certificate",
+            ));
         }
         self.keys.insert(packet.index, cert.public_key);
         Ok(())

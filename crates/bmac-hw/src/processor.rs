@@ -201,7 +201,10 @@ impl BlockProcessor {
         keys: &HashMap<u16, VerifyingKey>,
         ready: SimTime,
     ) -> Result<HwBlockResult, ProcessError> {
-        let mut stats = HwBlockStats { data_ready: ready, ..Default::default() };
+        let mut stats = HwBlockStats {
+            data_ready: ready,
+            ..Default::default()
+        };
         let t = ECDSA_ENGINE_LATENCY;
 
         // --- Stage 1: block_verify (dedicated engine).
@@ -246,8 +249,7 @@ impl BlockProcessor {
             // tx_vscc: waves of endorsement verifications on this
             // validator's engines with short-circuit evaluation.
             let ss = ve.max(self.vscc_free[v]);
-            let (ok, waves, executed, skipped) =
-                self.run_vscc(tx, keys, valid_so_far)?;
+            let (ok, waves, executed, skipped) = self.run_vscc(tx, keys, valid_so_far)?;
             stats.verifications += executed;
             stats.skipped_verifications += skipped;
             let se = ss + waves * t;
@@ -295,7 +297,11 @@ impl BlockProcessor {
                 stats.db_writes += 1;
                 m_end += HW_DB_ACCESS;
                 self.db
-                    .put(key, value.clone(), Height::new(rb.block.header.number, i as u64))
+                    .put(
+                        key,
+                        value.clone(),
+                        Height::new(rb.block.header.number, i as u64),
+                    )
                     .map_err(|_| ProcessError::DbFull)?;
             }
             flags.push(TxValidationCode::Valid);

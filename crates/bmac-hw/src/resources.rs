@@ -22,7 +22,10 @@ impl Geometry {
     /// Creates a geometry, e.g. `Geometry::new(8, 2)` for the paper's
     /// "8x2".
     pub fn new(tx_validators: usize, engines_per_vscc: usize) -> Self {
-        Geometry { tx_validators, engines_per_vscc }
+        Geometry {
+            tx_validators,
+            engines_per_vscc,
+        }
     }
 
     /// Total ecdsa_engine instances: one per tx_verify, `E` per tx_vscc,
@@ -96,11 +99,51 @@ pub fn max_validators_within(lut_budget_pct: f64, engines_per_vscc: usize) -> us
 
 /// The paper's Table 1 reference points (architecture, LUT%, FF%, BRAM%).
 pub const PAPER_TABLE1: [(Geometry, f64, f64, f64); 5] = [
-    (Geometry { tx_validators: 4, engines_per_vscc: 2 }, 20.9, 6.9, 13.1),
-    (Geometry { tx_validators: 5, engines_per_vscc: 3 }, 25.4, 7.3, 13.1),
-    (Geometry { tx_validators: 8, engines_per_vscc: 2 }, 28.5, 8.0, 13.1),
-    (Geometry { tx_validators: 12, engines_per_vscc: 2 }, 35.8, 9.1, 13.1),
-    (Geometry { tx_validators: 16, engines_per_vscc: 2 }, 43.3, 10.3, 13.1),
+    (
+        Geometry {
+            tx_validators: 4,
+            engines_per_vscc: 2,
+        },
+        20.9,
+        6.9,
+        13.1,
+    ),
+    (
+        Geometry {
+            tx_validators: 5,
+            engines_per_vscc: 3,
+        },
+        25.4,
+        7.3,
+        13.1,
+    ),
+    (
+        Geometry {
+            tx_validators: 8,
+            engines_per_vscc: 2,
+        },
+        28.5,
+        8.0,
+        13.1,
+    ),
+    (
+        Geometry {
+            tx_validators: 12,
+            engines_per_vscc: 2,
+        },
+        35.8,
+        9.1,
+        13.1,
+    ),
+    (
+        Geometry {
+            tx_validators: 16,
+            engines_per_vscc: 2,
+        },
+        43.3,
+        10.3,
+        13.1,
+    ),
 ];
 
 #[cfg(test)]

@@ -169,8 +169,7 @@ pub fn validate_block(config: &HwModelConfig, w: &HwWorkload) -> HwBreakdown {
     let validate = t + rounds as u64 * t + (per_validator.saturating_sub(1)) as u64 * interval;
     // mvcc/commit: sequential per tx; hidden while shorter than the
     // inter-completion gap (Figure 12c).
-    let db_per_tx =
-        MVCC_FIXED + (w.reads_per_tx + w.writes_per_tx) as u64 * HW_DB_ACCESS;
+    let db_per_tx = MVCC_FIXED + (w.reads_per_tx + w.writes_per_tx) as u64 * HW_DB_ACCESS;
     let completion_gap = interval / v.min(w.num_txs.max(1)) as u64;
     let mvcc_tail = if db_per_tx > completion_gap {
         (db_per_tx - completion_gap) * w.num_txs as u64
@@ -179,8 +178,7 @@ pub fn validate_block(config: &HwModelConfig, w: &HwWorkload) -> HwBreakdown {
     };
     // Cut-through protocol processing: the block's sections stream at
     // the 11 Gbps line rate; per-packet latencies overlap.
-    let protocol =
-        protocol_processing_time(w.num_txs * w.tx_section_bytes + 1024) + PACKET_LATENCY;
+    let protocol = protocol_processing_time(w.num_txs * w.tx_section_bytes + 1024) + PACKET_LATENCY;
     let block_verify = t;
     let total = block_verify + validate + mvcc_tail + RESULT_PUBLISH;
     HwBreakdown {
@@ -208,8 +206,14 @@ mod tests {
         // Paper: 10,700 tps (4 validators) -> 38,400 tps (16 validators).
         let t4 = tput(4, 2, HwWorkload::smallbank(250));
         let t16 = tput(16, 2, HwWorkload::smallbank(250));
-        assert!((t4 - 10_700.0).abs() / 10_700.0 < 0.05, "4 validators: {t4}");
-        assert!((t16 - 38_400.0).abs() / 38_400.0 < 0.08, "16 validators: {t16}");
+        assert!(
+            (t4 - 10_700.0).abs() / 10_700.0 < 0.05,
+            "4 validators: {t4}"
+        );
+        assert!(
+            (t16 - 38_400.0).abs() / 38_400.0 < 0.08,
+            "16 validators: {t16}"
+        );
         // "throughput of BMac peer increases by 3.6x with 4 to 16".
         let scaling = t16 / t4;
         assert!((3.2..4.0).contains(&scaling), "scaling {scaling}");
@@ -233,8 +237,14 @@ mod tests {
         // 80 validators/block 500.
         let t50 = tput(50, 2, HwWorkload::smallbank(250));
         let t80 = tput(80, 2, HwWorkload::smallbank(500));
-        assert!((t50 - 100_000.0).abs() / 100_000.0 < 0.05, "50 validators {t50}");
-        assert!((t80 - 150_000.0).abs() / 150_000.0 < 0.05, "80 validators {t80}");
+        assert!(
+            (t50 - 100_000.0).abs() / 100_000.0 < 0.05,
+            "50 validators {t50}"
+        );
+        assert!(
+            (t80 - 150_000.0).abs() / 150_000.0 < 0.05,
+            "80 validators {t80}"
+        );
     }
 
     #[test]

@@ -57,8 +57,13 @@ mod tests {
 
     #[test]
     fn engine_latency_dominates_other_modules() {
-        for other in [PACKET_LATENCY, SCHEDULE_LATENCY, HW_DB_ACCESS, MVCC_FIXED, RESULT_PUBLISH]
-        {
+        for other in [
+            PACKET_LATENCY,
+            SCHEDULE_LATENCY,
+            HW_DB_ACCESS,
+            MVCC_FIXED,
+            RESULT_PUBLISH,
+        ] {
             assert!(ECDSA_ENGINE_LATENCY > 10 * other);
         }
     }

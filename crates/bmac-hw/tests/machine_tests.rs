@@ -50,8 +50,8 @@ fn trust_anchors_accept_chained_identities() {
     let mut m = machine();
     // The network's orgs are deterministic; rebuild their CA keys.
     let cas = vec![
-        *CertificateAuthority::new(0).public_key(),
-        *CertificateAuthority::new(1).public_key(),
+        CertificateAuthority::new(0).public_key().clone(),
+        CertificateAuthority::new(1).public_key().clone(),
     ];
     m.set_trust_anchors(cas);
     let block = one_block(&mut net, "a");
@@ -60,7 +60,10 @@ fn trust_anchors_accept_chained_identities() {
         m.ingest_wire(&p.encode().unwrap(), 0).unwrap();
     }
     assert_eq!(m.blocks_processed(), 1);
-    assert!(m.key_count() >= 4, "client, 2 endorsers, orderer registered");
+    assert!(
+        m.key_count() >= 4,
+        "client, 2 endorsers, orderer registered"
+    );
 }
 
 #[test]
@@ -69,7 +72,7 @@ fn trust_anchors_reject_foreign_identities() {
     let mut m = machine();
     // Trust only a CA that issued none of the network's identities.
     let foreign = CertificateAuthority::new(9);
-    m.set_trust_anchors(vec![*foreign.public_key()]);
+    m.set_trust_anchors(vec![foreign.public_key().clone()]);
     let block = one_block(&mut net, "a");
     let mut sender = BmacSender::new();
     let mut rejected = false;
@@ -135,7 +138,11 @@ fn results_publish_in_fifo_order_with_monotonic_time() {
 fn non_bmac_traffic_is_ignored_without_error() {
     let mut m = machine();
     m.ingest_wire(&[0u8; 64], 0).unwrap();
-    assert_eq!(m.traffic().0, 0, "non-BMac packets are not counted as BMac traffic");
+    assert_eq!(
+        m.traffic().0,
+        0,
+        "non-BMac packets are not counted as BMac traffic"
+    );
 }
 
 #[test]

@@ -203,7 +203,7 @@ impl BmacPacket {
         buf.put_u16(0); // checksum (not modeled)
         buf.put_u32(0x0a00_0001); // src 10.0.0.1
         buf.put_u32(0x0a00_0002); // dst 10.0.0.2
-        // L4: UDP src/dst/len/checksum.
+                                  // L4: UDP src/dst/len/checksum.
         buf.put_u16(BMAC_UDP_PORT);
         buf.put_u16(BMAC_UDP_PORT);
         buf.put_u16(0);
@@ -218,7 +218,11 @@ impl BmacPacket {
         // L7 variable part: annotations.
         for a in &self.annotations {
             match a {
-                Annotation::Pointer { kind, offset, length } => {
+                Annotation::Pointer {
+                    kind,
+                    offset,
+                    length,
+                } => {
                     buf.put_u8(0);
                     buf.put_u8(kind.code());
                     buf.put_u32(*offset);
@@ -292,7 +296,11 @@ impl BmacPacket {
                     let kind = FieldKind::from_code(buf.get_u8())?;
                     let offset = buf.get_u32();
                     let length = buf.get_u32();
-                    annotations.push(Annotation::Pointer { kind, offset, length });
+                    annotations.push(Annotation::Pointer {
+                        kind,
+                        offset,
+                        length,
+                    });
                 }
                 1 => {
                     if buf.remaining() < 6 {
@@ -309,7 +317,14 @@ impl BmacPacket {
             return Err(PacketError::Truncated);
         }
         let payload = Bytes::copy_from_slice(&buf[..payload_len]);
-        Ok(BmacPacket { block_num, section, index, total_txs, annotations, payload })
+        Ok(BmacPacket {
+            block_num,
+            section,
+            index,
+            total_txs,
+            annotations,
+            payload,
+        })
     }
 
     /// Total bytes on the wire for this packet.
@@ -339,8 +354,15 @@ mod tests {
             index: 3,
             total_txs: 150,
             annotations: vec![
-                Annotation::Pointer { kind: FieldKind::ClientSignature, offset: 10, length: 71 },
-                Annotation::Locator { offset: 5, id: 0x0120 },
+                Annotation::Pointer {
+                    kind: FieldKind::ClientSignature,
+                    offset: 10,
+                    length: 71,
+                },
+                Annotation::Locator {
+                    offset: 5,
+                    id: 0x0120,
+                },
             ],
             payload: Bytes::from_static(b"section payload bytes"),
         }
@@ -394,7 +416,10 @@ mod tests {
     fn oversized_payload_rejected() {
         let mut p = sample();
         p.payload = Bytes::from(vec![0u8; MAX_PAYLOAD + 1]);
-        assert_eq!(p.encode(), Err(PacketError::PayloadTooLarge(MAX_PAYLOAD + 1)));
+        assert_eq!(
+            p.encode(),
+            Err(PacketError::PayloadTooLarge(MAX_PAYLOAD + 1))
+        );
     }
 
     #[test]

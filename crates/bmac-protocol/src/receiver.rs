@@ -112,9 +112,7 @@ impl PartialBlock {
     fn is_complete(&self) -> bool {
         match self.total_txs {
             Some(n) => {
-                self.header.is_some()
-                    && self.metadata.is_some()
-                    && self.txs.len() == n as usize
+                self.header.is_some() && self.metadata.is_some() && self.txs.len() == n as usize
             }
             None => false,
         }
@@ -199,8 +197,7 @@ impl BmacReceiver {
         wire_len: usize,
     ) -> Result<Vec<ReceivedBlock>, ReceiveError> {
         if packet.section == SectionType::IdentitySync {
-            self.cache
-                .insert_raw(packet.index, packet.payload.to_vec());
+            self.cache.insert_raw(packet.index, packet.payload.to_vec());
             self.stats.identities += 1;
             // The new identity may unblock complete-but-waiting blocks.
             return self.drain_ready();
@@ -296,8 +293,7 @@ impl BmacReceiver {
 
     fn reassemble(&self, partial: &PartialBlock) -> Result<ReceivedBlock, ReceiveError> {
         let header_bytes = partial.header.as_ref().expect("checked complete");
-        let (md_stripped, md_annotations) =
-            partial.metadata.as_ref().expect("checked complete");
+        let (md_stripped, md_annotations) = partial.metadata.as_ref().expect("checked complete");
         let header = BlockHeader::unmarshal(header_bytes).map_err(ReceiveError::Decode)?;
         let md_bytes = self.reconstruct(md_stripped, md_annotations)?;
         let metadata = BlockMetadata::unmarshal(&md_bytes).map_err(ReceiveError::Decode)?;
@@ -305,8 +301,8 @@ impl BmacReceiver {
         // Block verification request from the metadata signature slot.
         let sig_slot = &metadata.metadata[metadata_index::SIGNATURES];
         let md_sig = MetadataSignature::unmarshal(sig_slot).map_err(ReceiveError::Decode)?;
-        let sh = SignatureHeader::unmarshal(&md_sig.signature_header)
-            .map_err(ReceiveError::Decode)?;
+        let sh =
+            SignatureHeader::unmarshal(&md_sig.signature_header).map_err(ReceiveError::Decode)?;
         let orderer_id = self
             .cache
             .id_of(&sh.creator)
@@ -326,10 +322,7 @@ impl BmacReceiver {
         let mut envelopes = Vec::with_capacity(total as usize);
         let mut txs = Vec::with_capacity(total as usize);
         for i in 0..total {
-            let (stripped, annotations) = partial
-                .txs
-                .get(&i)
-                .expect("checked complete");
+            let (stripped, annotations) = partial.txs.get(&i).expect("checked complete");
             let env_bytes = self.reconstruct(stripped, annotations)?;
             let decoded = decode_transaction(&env_bytes).map_err(ReceiveError::Decode)?;
             txs.push(self.extract_tx(&decoded, env_bytes.len())?);

@@ -163,14 +163,29 @@ impl GoBackNReceiver {
         let (inner, seq) = split_trailer(wire)?;
         if seq == self.expected {
             self.expected = self.expected.wrapping_add(1);
-            Ok((Some(inner.to_vec()), Feedback::Ack { next: self.expected }))
+            Ok((
+                Some(inner.to_vec()),
+                Feedback::Ack {
+                    next: self.expected,
+                },
+            ))
         } else if seq_lt(seq, self.expected) {
             // Duplicate of something already delivered: re-ack.
             self.duplicates += 1;
-            Ok((None, Feedback::Ack { next: self.expected }))
+            Ok((
+                None,
+                Feedback::Ack {
+                    next: self.expected,
+                },
+            ))
         } else {
             // Gap: Go-Back-N discards out-of-order packets.
-            Ok((None, Feedback::Nack { expected: self.expected }))
+            Ok((
+                None,
+                Feedback::Nack {
+                    expected: self.expected,
+                },
+            ))
         }
     }
 

@@ -153,7 +153,13 @@ impl BmacSender {
         let (payload, mut annotations, removed) =
             self.strip_identities(&md_bytes, block_num, total_txs, &mut sync)?;
         packets.extend(sync);
-        annotations.extend(metadata_pointers(&block.metadata.metadata[metadata_index::SIGNATURES], &md_bytes).map_err(SendError::Decode)?);
+        annotations.extend(
+            metadata_pointers(
+                &block.metadata.metadata[metadata_index::SIGNATURES],
+                &md_bytes,
+            )
+            .map_err(SendError::Decode)?,
+        );
         self.stats.identity_bytes_removed += removed as u64;
         packets.push(BmacPacket {
             block_num,
@@ -172,8 +178,7 @@ impl BmacSender {
             .iter()
             .map(|p| p.encode().map(|w| w.len()).unwrap_or(0) as u64)
             .sum::<u64>();
-        self.stats.gossip_wire_bytes +=
-            fabric_node::gossip::gossip_wire_bytes(block_bytes) as u64;
+        self.stats.gossip_wire_bytes += fabric_node::gossip::gossip_wire_bytes(block_bytes) as u64;
         self.stats.block_bytes += block_bytes as u64;
         // Validate sizes late so stats stay consistent on failure paths.
         for p in &packets {
@@ -195,8 +200,7 @@ impl BmacSender {
         // Discover identities present in this section and register them.
         for ident_bytes in find_serialized_identities(bytes) {
             if self.cache.id_of(&ident_bytes).is_none() {
-                let si = SerializedIdentity::unmarshal(&ident_bytes)
-                    .map_err(SendError::Decode)?;
+                let si = SerializedIdentity::unmarshal(&ident_bytes).map_err(SendError::Decode)?;
                 let cert = Certificate::from_bytes(&si.id_bytes)
                     .map_err(|_| SendError::Decode(WireError::Semantic("bad certificate")))?;
                 self.cache.insert(cert.node_id, ident_bytes.clone());
@@ -239,7 +243,10 @@ impl BmacSender {
         let mut removed = 0;
         for (off, len, id) in kept {
             stripped.extend_from_slice(&bytes[pos..off]);
-            locators.push(Annotation::Locator { offset: stripped.len() as u32, id });
+            locators.push(Annotation::Locator {
+                offset: stripped.len() as u32,
+                id,
+            });
             pos = off + len;
             removed += len;
         }
@@ -253,7 +260,12 @@ impl BmacSender {
 fn tx_pointers(env_bytes: &[u8]) -> Result<Vec<Annotation>, WireError> {
     let env = Envelope::unmarshal(env_bytes)?;
     let mut out = Vec::new();
-    push_pointer(&mut out, env_bytes, &env.signature, FieldKind::ClientSignature);
+    push_pointer(
+        &mut out,
+        env_bytes,
+        &env.signature,
+        FieldKind::ClientSignature,
+    );
     push_pointer(&mut out, env_bytes, &env.payload, FieldKind::SignedPayload);
     let payload = Payload::unmarshal(&env.payload)?;
     let tx = Transaction::unmarshal(&payload.data)?;
@@ -266,7 +278,12 @@ fn tx_pointers(env_bytes: &[u8]) -> Result<Vec<Annotation>, WireError> {
             FieldKind::ProposalResponse,
         );
         for e in &cap.action.endorsements {
-            push_pointer(&mut out, env_bytes, &e.signature, FieldKind::EndorsementSignature);
+            push_pointer(
+                &mut out,
+                env_bytes,
+                &e.signature,
+                FieldKind::EndorsementSignature,
+            );
         }
         let prp = fabric_protos::messages::ProposalResponsePayload::unmarshal(
             &cap.action.proposal_response_payload,
@@ -282,7 +299,12 @@ fn metadata_pointers(sig_slot: &[u8], md_bytes: &[u8]) -> Result<Vec<Annotation>
     let mut out = Vec::new();
     if !sig_slot.is_empty() {
         let md_sig = MetadataSignature::unmarshal(sig_slot)?;
-        push_pointer(&mut out, md_bytes, &md_sig.signature, FieldKind::BlockSignature);
+        push_pointer(
+            &mut out,
+            md_bytes,
+            &md_sig.signature,
+            FieldKind::BlockSignature,
+        );
     }
     Ok(out)
 }
@@ -313,9 +335,9 @@ fn find_serialized_identities(bytes: &[u8]) -> Vec<Vec<u8>> {
     // Try as an envelope.
     if let Ok(env) = Envelope::unmarshal(bytes) {
         if let Ok(payload) = Payload::unmarshal(&env.payload) {
-            if let Ok(sh) =
-                fabric_protos::messages::SignatureHeader::unmarshal(&payload.header.signature_header)
-            {
+            if let Ok(sh) = fabric_protos::messages::SignatureHeader::unmarshal(
+                &payload.header.signature_header,
+            ) {
                 if looks_like_identity(&sh.creator) {
                     push_unique(sh.creator);
                 }
@@ -344,9 +366,9 @@ fn find_serialized_identities(bytes: &[u8]) -> Vec<Vec<u8>> {
     if let Ok(md) = fabric_protos::messages::BlockMetadata::unmarshal(bytes) {
         if let Some(slot) = md.metadata.first() {
             if let Ok(md_sig) = MetadataSignature::unmarshal(slot) {
-                if let Ok(sh) = fabric_protos::messages::SignatureHeader::unmarshal(
-                    &md_sig.signature_header,
-                ) {
+                if let Ok(sh) =
+                    fabric_protos::messages::SignatureHeader::unmarshal(&md_sig.signature_header)
+                {
                     if looks_like_identity(&sh.creator) {
                         push_unique(sh.creator);
                     }
@@ -452,7 +474,11 @@ mod tests {
         steady.send_block(&block2).unwrap();
         let stats = steady.stats();
         // Identity share of raw blocks ≥ 70% (paper: at least 73%).
-        assert!(stats.identity_share() > 0.65, "share {}", stats.identity_share());
+        assert!(
+            stats.identity_share() > 0.65,
+            "share {}",
+            stats.identity_share()
+        );
         // Savings vs Gossip well above 60% (paper: up to 85%).
         assert!(stats.savings() > 0.6, "savings {}", stats.savings());
     }
@@ -479,7 +505,10 @@ mod tests {
         assert!(kinds.contains(&FieldKind::ProposalResponse));
         assert!(kinds.contains(&FieldKind::RwSet));
         assert_eq!(
-            kinds.iter().filter(|k| **k == FieldKind::EndorsementSignature).count(),
+            kinds
+                .iter()
+                .filter(|k| **k == FieldKind::EndorsementSignature)
+                .count(),
             2
         );
         // Locators present too (identities stripped).

@@ -16,7 +16,11 @@ fn arb_annotation() -> impl Strategy<Value = Annotation> {
                 4 => FieldKind::RwSet,
                 _ => FieldKind::SignedPayload,
             };
-            Annotation::Pointer { kind, offset, length }
+            Annotation::Pointer {
+                kind,
+                offset,
+                length,
+            }
         }),
         (any::<u32>(), any::<u16>()).prop_map(|(offset, id)| Annotation::Locator { offset, id }),
     ]
@@ -31,19 +35,21 @@ fn arb_packet() -> impl Strategy<Value = BmacPacket> {
         proptest::collection::vec(arb_annotation(), 0..12),
         proptest::collection::vec(any::<u8>(), 0..2048),
     )
-        .prop_map(|(block_num, s, index, total_txs, annotations, payload)| BmacPacket {
-            block_num,
-            section: match s {
-                0 => SectionType::Header,
-                1 => SectionType::Transaction,
-                2 => SectionType::Metadata,
-                _ => SectionType::IdentitySync,
+        .prop_map(
+            |(block_num, s, index, total_txs, annotations, payload)| BmacPacket {
+                block_num,
+                section: match s {
+                    0 => SectionType::Header,
+                    1 => SectionType::Transaction,
+                    2 => SectionType::Metadata,
+                    _ => SectionType::IdentitySync,
+                },
+                index,
+                total_txs,
+                annotations,
+                payload: Bytes::from(payload),
             },
-            index,
-            total_txs,
-            annotations,
-            payload: Bytes::from(payload),
-        })
+        )
 }
 
 proptest! {

@@ -329,8 +329,8 @@ impl BmacConfig {
                     .get("policy")
                     .and_then(Value::as_str)
                     .ok_or(ConfigError::Missing("chaincodes[].policy"))?;
-                let policy = parse_policy(policy_str)
-                    .map_err(|e| ConfigError::BadPolicy(e.to_string()))?;
+                let policy =
+                    parse_policy(policy_str).map_err(|e| ConfigError::BadPolicy(e.to_string()))?;
                 config.chaincodes.push(ChaincodeConfig { name, policy });
             }
         }
@@ -428,10 +428,8 @@ architecture:
 
     #[test]
     fn bad_policy_is_reported() {
-        let err = BmacConfig::from_yaml(
-            "chaincodes:\n  - name: x\n    policy: 5of3\n",
-        )
-        .unwrap_err();
+        let err =
+            BmacConfig::from_yaml("chaincodes:\n  - name: x\n    policy: 5of3\n").unwrap_err();
         assert!(matches!(err, ConfigError::BadPolicy(_)));
     }
 
@@ -444,7 +442,10 @@ architecture:
     #[test]
     fn bad_scalar_type_is_reported() {
         let err = BmacConfig::from_yaml("architecture:\n  tx_validators: many\n").unwrap_err();
-        assert!(matches!(err, ConfigError::BadValue("architecture.tx_validators", _)));
+        assert!(matches!(
+            err,
+            ConfigError::BadValue("architecture.tx_validators", _)
+        ));
     }
 
     #[test]

@@ -96,7 +96,13 @@ impl BMacPeer {
         let fallback = ValidatorPipeline::new(msp, policies, 4);
         let ledger = fallback.ledger();
         let state_db = fallback.state_db();
-        BMacPeer { machine, ledger, state_db, fallback, commits: Vec::new() }
+        BMacPeer {
+            machine,
+            ledger,
+            state_db,
+            fallback,
+            commits: Vec::new(),
+        }
     }
 
     /// The peer's ledger.
@@ -164,8 +170,7 @@ impl BMacPeer {
     fn drain_hw_results(&mut self) -> Result<Vec<CommitRecord>, PeerError> {
         let mut out = Vec::new();
         while let Some((result, received)) = self.machine.get_block_data_full() {
-            let tx_ids: Vec<String> =
-                received.txs.iter().map(|t| t.tx_id.clone()).collect();
+            let tx_ids: Vec<String> = received.txs.iter().map(|t| t.tx_id.clone()).collect();
             let modified: Vec<Vec<String>> = received
                 .txs
                 .iter()
@@ -248,8 +253,10 @@ mod tests {
         let mut net = make_network();
         let mut peer = BMacPeer::new(&test_config(), test_msp());
         let mut sender = BmacSender::new();
-        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()]).unwrap();
-        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()]).unwrap();
+        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+            .unwrap();
+        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
+            .unwrap();
         let blocks = net
             .submit_invocation(0, "kv", "put", &["c".into(), "3".into()])
             .unwrap();
@@ -309,8 +316,10 @@ mod tests {
     fn gossip_fallback_works() {
         let mut net = make_network();
         let mut peer = BMacPeer::new(&test_config(), test_msp());
-        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()]).unwrap();
-        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()]).unwrap();
+        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+            .unwrap();
+        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
+            .unwrap();
         let blocks = net
             .submit_invocation(0, "kv", "put", &["c".into(), "3".into()])
             .unwrap();
@@ -326,8 +335,10 @@ mod tests {
         let mut peer = BMacPeer::new(&test_config(), test_msp());
         let mut sender = BmacSender::new();
         // Block 0 via hardware.
-        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()]).unwrap();
-        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()]).unwrap();
+        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+            .unwrap();
+        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
+            .unwrap();
         let b0 = net
             .submit_invocation(0, "kv", "put", &["c".into(), "3".into()])
             .unwrap()
@@ -344,8 +355,10 @@ mod tests {
                 (2, vec![("c".into(), b"3".to_vec())]),
             ],
         );
-        net.submit_invocation(0, "kv", "put", &["d".into(), "4".into()]).unwrap();
-        net.submit_invocation(0, "kv", "put", &["e".into(), "5".into()]).unwrap();
+        net.submit_invocation(0, "kv", "put", &["d".into(), "4".into()])
+            .unwrap();
+        net.submit_invocation(0, "kv", "put", &["e".into(), "5".into()])
+            .unwrap();
         let b1 = net
             .submit_invocation(0, "kv", "put", &["f".into(), "6".into()])
             .unwrap()
@@ -362,8 +375,10 @@ mod tests {
         let mut net = make_network();
         let mut peer = BMacPeer::new(&test_config(), test_msp());
         let mut sender = BmacSender::new();
-        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()]).unwrap();
-        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()]).unwrap();
+        net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+            .unwrap();
+        net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
+            .unwrap();
         let block = net
             .submit_invocation(0, "kv", "put", &["c".into(), "3".into()])
             .unwrap()

@@ -38,21 +38,16 @@ pub struct CurveParams {
 pub fn p256() -> &'static CurveParams {
     static PARAMS: OnceLock<CurveParams> = OnceLock::new();
     PARAMS.get_or_init(|| {
-        let p =
-            U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
-                .expect("p-256 prime literal");
-        let n =
-            U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
-                .expect("p-256 order literal");
-        let b =
-            U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
-                .expect("p-256 b literal");
-        let gx =
-            U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
-                .expect("p-256 gx literal");
-        let gy =
-            U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
-                .expect("p-256 gy literal");
+        let p = U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+            .expect("p-256 prime literal");
+        let n = U256::from_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+            .expect("p-256 order literal");
+        let b = U256::from_hex("5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b")
+            .expect("p-256 b literal");
+        let gx = U256::from_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296")
+            .expect("p-256 gx literal");
+        let gy = U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
+            .expect("p-256 gy literal");
         let fp = MontgomeryDomain::new(p);
         let fn_ = MontgomeryDomain::new(n);
         let three = fp.to_mont(&U256::from_u64(3));
@@ -60,7 +55,15 @@ pub fn p256() -> &'static CurveParams {
         let b = fp.to_mont(&b);
         let gx = fp.to_mont(&gx);
         let gy = fp.to_mont(&gy);
-        CurveParams { fp, fn_, a, b, gx, gy, order: n }
+        CurveParams {
+            fp,
+            fn_,
+            a,
+            b,
+            gx,
+            gy,
+            order: n,
+        }
     })
 }
 
@@ -91,13 +94,21 @@ pub struct JacobianPoint {
 impl AffinePoint {
     /// The group identity (point at infinity).
     pub fn identity() -> Self {
-        AffinePoint { x: U256::ZERO, y: U256::ZERO, infinity: true }
+        AffinePoint {
+            x: U256::ZERO,
+            y: U256::ZERO,
+            infinity: true,
+        }
     }
 
     /// The curve base point `G`.
     pub fn generator() -> Self {
         let c = p256();
-        AffinePoint { x: c.gx, y: c.gy, infinity: false }
+        AffinePoint {
+            x: c.gx,
+            y: c.gy,
+            infinity: false,
+        }
     }
 
     /// Constructs a point from plain (non-Montgomery) affine coordinates,
@@ -115,7 +126,11 @@ impl AffinePoint {
         }
         let xm = c.fp.to_mont(x);
         let ym = c.fp.to_mont(y);
-        let pt = AffinePoint { x: xm, y: ym, infinity: false };
+        let pt = AffinePoint {
+            x: xm,
+            y: ym,
+            infinity: false,
+        };
         if pt.is_on_curve() {
             Ok(pt)
         } else {
@@ -180,7 +195,11 @@ impl AffinePoint {
         if self.infinity {
             JacobianPoint::identity()
         } else {
-            JacobianPoint { x: self.x, y: self.y, z: p256().fp.one() }
+            JacobianPoint {
+                x: self.x,
+                y: self.y,
+                z: p256().fp.one(),
+            }
         }
     }
 
@@ -208,7 +227,11 @@ impl fmt::Debug for AffinePoint {
 impl JacobianPoint {
     /// The group identity.
     pub fn identity() -> Self {
-        JacobianPoint { x: p256().fp.one(), y: p256().fp.one(), z: U256::ZERO }
+        JacobianPoint {
+            x: p256().fp.one(),
+            y: p256().fp.one(),
+            z: U256::ZERO,
+        }
     }
 
     /// Whether this is the identity.
@@ -245,7 +268,11 @@ impl JacobianPoint {
         let gsq4 = f.add(&gsq2, &gsq2);
         let g8 = f.add(&gsq4, &gsq4);
         let y3 = f.sub(&f.mul(&alpha, &f.sub(&beta4, &x3)), &g8);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General Jacobian point addition (add-2007-bl).
@@ -284,7 +311,11 @@ impl JacobianPoint {
         // Z3 = ((Z1+Z2)^2 - Z1Z1 - Z2Z2) * H
         let z12 = f.add(&self.z, &other.z);
         let z3 = f.mul(&f.sub(&f.sub(&f.sqr(&z12), &z1z1), &z2z2), &h);
-        JacobianPoint { x: x3, y: y3, z: z3 }
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Windowed (4-bit) scalar multiplication `k·self`.
@@ -316,8 +347,109 @@ impl JacobianPoint {
         acc
     }
 
+    /// Mixed Jacobian + affine addition (madd-2007-bl, `Z2 = 1`), ~30%
+    /// cheaper than the general [`Self::add`]. The fixed-base table and
+    /// wNAF tables store affine points precisely so the hot loops can
+    /// use this.
+    pub fn add_mixed(&self, other: &AffinePoint) -> JacobianPoint {
+        if other.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return other.to_jacobian();
+        }
+        let f = &p256().fp;
+        let z1z1 = f.sqr(&self.z);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s2 = f.mul(&f.mul(&other.y, &self.z), &z1z1);
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double();
+            }
+            return JacobianPoint::identity();
+        }
+        let h = f.sub(&u2, &self.x);
+        let hh = f.sqr(&h);
+        let i = f.add(&f.add(&hh, &hh), &f.add(&hh, &hh));
+        let j = f.mul(&h, &i);
+        let r0 = f.sub(&s2, &self.y);
+        let r = f.add(&r0, &r0);
+        let v = f.mul(&self.x, &i);
+        let x3 = f.sub(&f.sub(&f.sqr(&r), &j), &f.add(&v, &v));
+        let yj = f.mul(&self.y, &j);
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.add(&yj, &yj));
+        let z1h = f.add(&self.z, &h);
+        let z3 = f.sub(&f.sub(&f.sqr(&z1h), &z1z1), &hh);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Width-5 wNAF scalar multiplication `k·self`: odd multiples
+    /// `{1,3,..,15}·self` are precomputed once, and the signed-digit
+    /// recoding leaves only ~1 addition per 6 doublings (versus 15/16
+    /// per nibble for the 4-bit window in [`Self::mul_scalar`]).
+    pub fn mul_scalar_wnaf(&self, k: &U256) -> JacobianPoint {
+        if k.is_zero() || self.is_identity() {
+            return JacobianPoint::identity();
+        }
+        const W: u32 = 5;
+        // Odd multiples 1P, 3P, ..., 15P.
+        let twice = self.double();
+        let mut table = [*self; 1 << (W - 2)];
+        for i in 1..table.len() {
+            table[i] = table[i - 1].add(&twice);
+        }
+        let f = &p256().fp;
+        let digits = wnaf_digits(k, W);
+        let mut acc = JacobianPoint::identity();
+        for &d in digits.iter().rev() {
+            acc = acc.double();
+            if d > 0 {
+                acc = acc.add(&table[(d as usize) / 2]);
+            } else if d < 0 {
+                let p = &table[(-d as usize) / 2];
+                let neg = JacobianPoint {
+                    x: p.x,
+                    y: f.neg(&p.y),
+                    z: p.z,
+                };
+                acc = acc.add(&neg);
+            }
+        }
+        acc
+    }
+
+    /// Normalizes a batch of points to affine with a *single* field
+    /// inversion (Montgomery's trick over the `Z` coordinates).
+    pub fn batch_to_affine(points: &[JacobianPoint]) -> Vec<AffinePoint> {
+        let f = &p256().fp;
+        let mut zs: Vec<U256> = points.iter().map(|p| p.z).collect();
+        let mask = f.batch_inv(&mut zs);
+        points
+            .iter()
+            .zip(zs.iter().zip(mask))
+            .map(|(p, (zinv, ok))| {
+                if !ok {
+                    return AffinePoint::identity();
+                }
+                let zinv2 = f.sqr(zinv);
+                let zinv3 = f.mul(&zinv2, zinv);
+                AffinePoint {
+                    x: f.mul(&p.x, &zinv2),
+                    y: f.mul(&p.y, &zinv3),
+                    infinity: false,
+                }
+            })
+            .collect()
+    }
+
     /// Interleaved double-scalar multiplication `u1·G + u2·Q`
-    /// (Shamir's trick), the hot operation in ECDSA verification.
+    /// (Shamir's trick), the seed implementation's hot operation in
+    /// ECDSA verification. Kept as the reference the optimized
+    /// fixed-base + wNAF path is cross-checked against.
     pub fn shamir(u1: &U256, g: &JacobianPoint, u2: &U256, q: &JacobianPoint) -> JacobianPoint {
         let sum = g.add(q);
         let bits = u1.bit_len().max(u2.bit_len());
@@ -332,6 +464,34 @@ impl JacobianPoint {
             }
         }
         acc
+    }
+
+    /// Tests whether this point's affine x coordinate reduces to `r`
+    /// modulo the group order — the final ECDSA check — *without* the
+    /// field inversion of [`Self::to_affine`]: `x = X/Z²`, so
+    /// `x ≡ r (mod n)` iff `X = x̂·Z²` for some candidate `x̂ ∈ {r, r+n}`
+    /// below the field prime (`p < 2n`, so no further candidates exist).
+    pub fn eq_x_mod_order(&self, r: &U256) -> bool {
+        if self.is_identity() {
+            return false;
+        }
+        let c = p256();
+        let f = &c.fp;
+        let zz = f.sqr(&self.z);
+        let mut candidate = *r;
+        loop {
+            if &candidate >= f.modulus() {
+                return false;
+            }
+            if f.mul(&f.to_mont(&candidate), &zz) == self.x {
+                return true;
+            }
+            let (next, carry) = candidate.overflowing_add(&c.order);
+            if carry {
+                return false;
+            }
+            candidate = next;
+        }
     }
 
     /// Projects back to affine coordinates (one field inversion).
@@ -349,6 +509,93 @@ impl JacobianPoint {
             infinity: false,
         }
     }
+}
+
+/// Width-`w` non-adjacent form: one signed odd digit in
+/// `±{1, 3, .., 2^(w-1)-1}` per bit position, at most one nonzero digit
+/// in any `w` consecutive positions.
+pub(crate) fn wnaf_digits(k: &U256, w: u32) -> Vec<i8> {
+    debug_assert!((2..=7).contains(&w));
+    let modulus = 1u64 << w;
+    let half = modulus >> 1;
+    let mut k = *k;
+    // Negative digits add their magnitude back into `k`, which can carry
+    // past bit 255 for scalars near 2^256; `carry` models that virtual
+    // bit 256 so recoding is correct for every `U256` input.
+    let mut carry = false;
+    let mut digits = Vec::with_capacity(258);
+    while !k.is_zero() || carry {
+        if k.is_odd() {
+            let low = k.0[0] & (modulus - 1);
+            if low >= half {
+                // Digit is low - 2^w (negative): add its magnitude back.
+                let (sum, overflow) = k.overflowing_add(&U256::from_u64(modulus - low));
+                k = sum;
+                carry |= overflow;
+                digits.push((low as i64 - modulus as i64) as i8);
+            } else {
+                k = k.wrapping_sub(&U256::from_u64(low));
+                digits.push(low as i8);
+            }
+        } else {
+            digits.push(0);
+        }
+        k = k.shr_small(1);
+        if carry {
+            // Shift the virtual bit 256 down into bit 255.
+            k.0[3] |= 1 << 63;
+            carry = false;
+        }
+    }
+    digits
+}
+
+/// Lazily built fixed-base comb table for the generator:
+/// `windows[w][d-1] = d · 2^(8w) · G` for `w ∈ 0..32`, `d ∈ 1..=255`,
+/// all in affine form so [`JacobianPoint::add_mixed`] applies.
+///
+/// With it, any `k·G` is at most 31 mixed additions and **zero**
+/// doublings — the radix-256 digits of `k` select one entry per window.
+/// The table is ~590 KiB and costs a few milliseconds once per process
+/// (8160 Jacobian additions plus one batched inversion); every ECDSA
+/// signature and the `u1·G` half of every verification then reuses it.
+struct FixedBaseTable {
+    windows: Vec<Vec<AffinePoint>>,
+}
+
+fn fixed_base_table() -> &'static FixedBaseTable {
+    static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut flat: Vec<JacobianPoint> = Vec::with_capacity(32 * 255);
+        let mut base = AffinePoint::generator().to_jacobian();
+        for _ in 0..32 {
+            let mut acc = base;
+            for _ in 1..=255 {
+                flat.push(acc);
+                acc = acc.add(&base);
+            }
+            // acc is now 256·base: the next window's base.
+            base = acc;
+        }
+        let affine = JacobianPoint::batch_to_affine(&flat);
+        let windows = affine.chunks(255).map(|c| c.to_vec()).collect();
+        FixedBaseTable { windows }
+    })
+}
+
+/// Fixed-base scalar multiplication `k·G` via the precomputed comb
+/// table: one table lookup and mixed addition per nonzero radix-256
+/// digit of `k`, no doublings.
+pub fn mul_fixed_base(k: &U256) -> JacobianPoint {
+    let table = fixed_base_table();
+    let mut acc = JacobianPoint::identity();
+    for w in 0..32 {
+        let digit = ((k.0[w / 8] >> ((w % 8) * 8)) & 0xff) as usize;
+        if digit != 0 {
+            acc = acc.add_mixed(&table.windows[w][digit - 1]);
+        }
+    }
+    acc
 }
 
 /// Errors constructing or decoding curve points.
@@ -443,6 +690,118 @@ mod tests {
     }
 
     #[test]
+    fn fixed_base_matches_windowed_mul() {
+        let g = AffinePoint::generator().to_jacobian();
+        for k in [1u64, 2, 3, 255, 256, 257, 65535, 0xdead_beef] {
+            let k = U256::from_u64(k);
+            assert_eq!(mul_fixed_base(&k).to_affine(), g.mul_scalar(&k).to_affine());
+        }
+        // Full-width scalar and the group order's neighbours.
+        let n = p256().order;
+        let nm1 = n.wrapping_sub(&U256::ONE);
+        assert_eq!(
+            mul_fixed_base(&nm1).to_affine(),
+            g.mul_scalar(&nm1).to_affine()
+        );
+        assert!(mul_fixed_base(&n).is_identity());
+        assert!(mul_fixed_base(&U256::ZERO).is_identity());
+    }
+
+    #[test]
+    fn wnaf_matches_windowed_mul() {
+        let g = AffinePoint::generator().to_jacobian();
+        let q = g.mul_scalar(&U256::from_u64(31337));
+        for k in [1u64, 2, 16, 17, 255, 1023, 0xffff_ffff] {
+            let k = U256::from_u64(k);
+            assert_eq!(
+                q.mul_scalar_wnaf(&k).to_affine(),
+                q.mul_scalar(&k).to_affine()
+            );
+        }
+        let big =
+            U256::from_hex("7fffffff00000001000000000000000000000000fffffffffffffffffffffffe")
+                .unwrap();
+        assert_eq!(
+            q.mul_scalar_wnaf(&big).to_affine(),
+            q.mul_scalar(&big).to_affine()
+        );
+        assert!(q.mul_scalar_wnaf(&U256::ZERO).is_identity());
+    }
+
+    #[test]
+    fn mixed_addition_matches_general() {
+        let g = AffinePoint::generator().to_jacobian();
+        let p = g.mul_scalar(&U256::from_u64(123));
+        let q_affine = g.mul_scalar(&U256::from_u64(456)).to_affine();
+        let mixed = p.add_mixed(&q_affine).to_affine();
+        let general = p.add(&q_affine.to_jacobian()).to_affine();
+        assert_eq!(mixed, general);
+        // Degenerate cases: doubling and cancellation.
+        let p_affine = p.to_affine();
+        assert_eq!(p.add_mixed(&p_affine).to_affine(), p.double().to_affine());
+        let f = &p256().fp;
+        let neg = AffinePoint {
+            x: p_affine.x,
+            y: f.neg(&p_affine.y),
+            infinity: false,
+        };
+        assert!(p.add_mixed(&neg).is_identity());
+        assert_eq!(p.add_mixed(&AffinePoint::identity()).to_affine(), p_affine);
+        assert_eq!(
+            JacobianPoint::identity().add_mixed(&p_affine).to_affine(),
+            p_affine
+        );
+    }
+
+    #[test]
+    fn batch_normalization_matches_individual() {
+        let g = AffinePoint::generator().to_jacobian();
+        let points: Vec<JacobianPoint> = (1u64..8)
+            .map(|k| g.mul_scalar(&U256::from_u64(k)))
+            .chain([JacobianPoint::identity()])
+            .collect();
+        let batch = JacobianPoint::batch_to_affine(&points);
+        for (p, b) in points.iter().zip(&batch) {
+            assert_eq!(p.to_affine(), *b);
+        }
+    }
+
+    #[test]
+    fn wnaf_digits_recode_correctly() {
+        // Reconstruct k = sum(d_i * 2^i) and check digit constraints.
+        for k in [1u64, 2, 31, 32, 0xdead_beef_cafe, u64::MAX] {
+            let digits = super::wnaf_digits(&U256::from_u64(k), 5);
+            let mut acc = 0i128;
+            for (i, &d) in digits.iter().enumerate() {
+                assert!(d == 0 || d % 2 != 0, "wNAF digits are zero or odd");
+                assert!((-15..=15).contains(&d));
+                acc += (d as i128) << i;
+            }
+            assert_eq!(acc, k as i128, "k={k}");
+        }
+    }
+
+    #[test]
+    fn wnaf_handles_scalars_near_2_256() {
+        // The recoding's add-back carries past bit 255 for these; the
+        // virtual-carry handling must keep the result correct (it used
+        // to panic in an overflow assert).
+        let g = AffinePoint::generator().to_jacobian();
+        let q = g.mul_scalar(&U256::from_u64(997));
+        for k in [
+            U256::MAX,
+            U256([u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX]),
+            U256([31, 0, 0, u64::MAX]),
+        ] {
+            assert_eq!(
+                q.mul_scalar_wnaf(&k).to_affine(),
+                q.mul_scalar(&k).to_affine(),
+                "k={k:?}"
+            );
+        }
+    }
+
+    #[test]
     fn sec1_roundtrip() {
         let p = AffinePoint::generator().mul_scalar(&U256::from_u64(31337));
         let bytes = p.to_sec1_bytes();
@@ -452,13 +811,22 @@ mod tests {
 
     #[test]
     fn sec1_rejects_bad_encodings() {
-        assert_eq!(AffinePoint::from_sec1_bytes(&[0x04; 10]), Err(PointError::Encoding));
+        assert_eq!(
+            AffinePoint::from_sec1_bytes(&[0x04; 10]),
+            Err(PointError::Encoding)
+        );
         let mut bytes = AffinePoint::generator().to_sec1_bytes();
         bytes[0] = 0x02;
-        assert_eq!(AffinePoint::from_sec1_bytes(&bytes), Err(PointError::Encoding));
+        assert_eq!(
+            AffinePoint::from_sec1_bytes(&bytes),
+            Err(PointError::Encoding)
+        );
         bytes[0] = 0x04;
         bytes[64] ^= 1; // corrupt y
-        assert_eq!(AffinePoint::from_sec1_bytes(&bytes), Err(PointError::NotOnCurve));
+        assert_eq!(
+            AffinePoint::from_sec1_bytes(&bytes),
+            Err(PointError::NotOnCurve)
+        );
     }
 
     #[test]
@@ -475,7 +843,11 @@ mod tests {
     fn inverse_points_cancel() {
         let f = &p256().fp;
         let g = AffinePoint::generator();
-        let neg_g = AffinePoint { x: g.x, y: f.neg(&g.y), infinity: false };
+        let neg_g = AffinePoint {
+            x: g.x,
+            y: f.neg(&g.y),
+            infinity: false,
+        };
         assert!(g.to_jacobian().add(&neg_g.to_jacobian()).is_identity());
     }
 

@@ -83,7 +83,10 @@ impl Cursor<'_> {
     fn expect_tag_len(&mut self, tag: u8) -> Result<usize, DerError> {
         let hdr = self.take(2)?;
         if hdr[0] != tag {
-            return Err(DerError::UnexpectedTag { expected: tag, found: hdr[0] });
+            return Err(DerError::UnexpectedTag {
+                expected: tag,
+                found: hdr[0],
+            });
         }
         let len = hdr[1];
         if len & 0x80 != 0 {
@@ -194,7 +197,10 @@ mod tests {
 
     #[test]
     fn small_values_encode_minimally() {
-        let sig = Signature { r: U256::from_u64(1), s: U256::from_u64(127) };
+        let sig = Signature {
+            r: U256::from_u64(1),
+            s: U256::from_u64(127),
+        };
         let der = encode_signature(&sig);
         assert_eq!(der, vec![0x30, 6, 0x02, 1, 1, 0x02, 1, 127]);
     }
@@ -203,7 +209,10 @@ mod tests {
     fn rejects_wrong_outer_tag() {
         assert_eq!(
             decode_signature(&[0x31, 0x00]),
-            Err(DerError::UnexpectedTag { expected: 0x30, found: 0x31 })
+            Err(DerError::UnexpectedTag {
+                expected: 0x30,
+                found: 0x31
+            })
         );
     }
 

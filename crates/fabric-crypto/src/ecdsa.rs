@@ -6,11 +6,38 @@
 //! single most expensive operation (~40% of total time in the paper's
 //! Figure 3a) and the reason the Blockchain Machine dedicates pipelined
 //! `ecdsa_engine` instances to it.
+//!
+//! # The verification hot path
+//!
+//! [`VerifyingKey::verify_prehashed`] runs an optimized pipeline that
+//! mirrors what the paper's hardware gets from parallel `ecdsa_engine`
+//! units — minimal redundant work per signature:
+//!
+//! * `u1·G` uses the process-wide precomputed fixed-base comb table
+//!   ([`crate::curve::mul_fixed_base`]): ≤31 mixed additions, no
+//!   doublings;
+//! * `u2·Q` uses a lazily built *per-key* table (wNAF odd multiples of
+//!   `Q` and of `2^128·Q`, affine) so the double-scalar half needs only
+//!   ~128 shared doublings and ~42 mixed additions — endorser keys
+//!   repeat across every block, so the table amortizes immediately;
+//! * `s⁻¹ mod n` uses binary-Euclid inversion
+//!   ([`crate::mont::MontgomeryDomain::inv`]), or is amortized across a
+//!   whole block with [`batch_s_inverses`] (Montgomery's trick: one
+//!   inversion per block) and [`VerifyingKey::verify_prehashed_with_sinv`];
+//! * the final `x(R) ≡ r (mod n)` comparison happens in projective
+//!   coordinates ([`JacobianPoint::eq_x_mod_order`]), eliminating the
+//!   second field inversion entirely.
+//!
+//! The seed implementation (bit-serial Shamir ladder + two Fermat
+//! inversions) is preserved as [`VerifyingKey::verify_prehashed_shamir`];
+//! randomized tests cross-check the two paths agree and the
+//! `bench_validation` harness reports the before/after ratio.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 use crate::bigint::{U256, U512};
-use crate::curve::{p256, AffinePoint, JacobianPoint, PointError};
+use crate::curve::{mul_fixed_base, p256, wnaf_digits, AffinePoint, JacobianPoint, PointError};
 use crate::sha256::{hmac_sha256, sha256};
 
 /// An ECDSA P-256 private key.
@@ -21,9 +48,91 @@ pub struct SigningKey {
 }
 
 /// An ECDSA P-256 public key.
-#[derive(Clone, Copy, PartialEq, Eq)]
+///
+/// Cloning is cheap and clones *share* the lazily built verification
+/// table, so the natural pattern — parse a certificate once, verify many
+/// endorsements against it — pays the precomputation once per key.
+#[derive(Clone)]
 pub struct VerifyingKey {
     point: AffinePoint,
+    /// Lazily built per-key acceleration table; identity semantics
+    /// (`PartialEq`, `Debug`, serialization) ignore it.
+    precomp: Arc<OnceLock<KeyPrecomp>>,
+}
+
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.point == other.point
+    }
+}
+
+impl Eq for VerifyingKey {}
+
+/// Per-key precomputation for the `u2·Q` half of verification: width-5
+/// wNAF odd multiples `{1,3,..,15}·B` for both `B = Q` and
+/// `B = 2^128·Q`, normalized to affine with one batched inversion.
+/// Splitting `u2 = u2_hi·2^128 + u2_lo` halves the doubling count of
+/// the Strauss ladder from 256 to 128.
+struct KeyPrecomp {
+    lo: Vec<AffinePoint>,
+    hi: Vec<AffinePoint>,
+}
+
+impl KeyPrecomp {
+    const WINDOW: u32 = 5;
+    const TABLE_LEN: usize = 1 << (Self::WINDOW - 2);
+
+    fn build(q: &AffinePoint) -> Self {
+        let base_lo = q.to_jacobian();
+        let mut base_hi = base_lo;
+        for _ in 0..128 {
+            base_hi = base_hi.double();
+        }
+        let mut jac = Vec::with_capacity(2 * Self::TABLE_LEN);
+        for base in [base_lo, base_hi] {
+            let twice = base.double();
+            let mut acc = base;
+            for _ in 0..Self::TABLE_LEN {
+                jac.push(acc);
+                acc = acc.add(&twice);
+            }
+        }
+        let affine = JacobianPoint::batch_to_affine(&jac);
+        let (lo, hi) = affine.split_at(Self::TABLE_LEN);
+        KeyPrecomp {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
+    }
+
+    /// `k·Q` via the split table: wNAF digits of the two 128-bit halves
+    /// walk one shared doubling ladder.
+    fn mul(&self, k: &U256) -> JacobianPoint {
+        let k_lo = U256([k.0[0], k.0[1], 0, 0]);
+        let k_hi = U256([k.0[2], k.0[3], 0, 0]);
+        let d_lo = wnaf_digits(&k_lo, Self::WINDOW);
+        let d_hi = wnaf_digits(&k_hi, Self::WINDOW);
+        let f = &p256().fp;
+        let mut acc = JacobianPoint::identity();
+        for i in (0..d_lo.len().max(d_hi.len())).rev() {
+            acc = acc.double();
+            for (digits, table) in [(&d_lo, &self.lo), (&d_hi, &self.hi)] {
+                let d = digits.get(i).copied().unwrap_or(0);
+                if d > 0 {
+                    acc = acc.add_mixed(&table[(d as usize) / 2]);
+                } else if d < 0 {
+                    let p = &table[(-d as usize) / 2];
+                    let neg = AffinePoint {
+                        x: p.x,
+                        y: f.neg(&p.y),
+                        infinity: p.infinity,
+                    };
+                    acc = acc.add_mixed(&neg);
+                }
+            }
+        }
+        acc
+    }
 }
 
 /// An ECDSA signature as the raw `(r, s)` scalar pair.
@@ -50,8 +159,11 @@ impl SigningKey {
         if d.is_zero() || &d >= n {
             return Err(EcdsaError::InvalidScalar);
         }
-        let point = AffinePoint::generator().mul_scalar(&d);
-        Ok(SigningKey { d, public: VerifyingKey { point } })
+        let point = mul_fixed_base(&d).to_affine();
+        Ok(SigningKey {
+            d,
+            public: VerifyingKey::new(point),
+        })
     }
 
     /// Creates a key from 32 big-endian bytes.
@@ -107,6 +219,11 @@ impl SigningKey {
 
     /// Signs a precomputed 32-byte digest using the RFC 6979 deterministic
     /// nonce, so signing needs no RNG and is reproducible across runs.
+    ///
+    /// `k·G` runs on the precomputed fixed-base comb table (no
+    /// doublings) and `k⁻¹` on binary-Euclid inversion, making signing
+    /// several times faster than the seed's windowed ladder + Fermat
+    /// exponentiation while producing bit-identical signatures.
     pub fn sign_prehashed(&self, digest: &[u8; 32]) -> Signature {
         let c = p256();
         let n = &c.order;
@@ -117,15 +234,15 @@ impl SigningKey {
             if k.is_zero() || &k >= n {
                 continue;
             }
-            let point = AffinePoint::generator().mul_scalar(&k);
-            let r = c.fp.from_mont(&point.x).rem(n);
+            let point = mul_fixed_base(&k).to_affine();
+            let r = c.fp.from_mont(&point.x).reduce_once(n);
             if r.is_zero() {
                 continue;
             }
             // s = k^-1 (z + r d) mod n, all in the Montgomery domain of n.
             let fd = &c.fn_;
             let km = fd.to_mont(&k);
-            let kinv = fd.inv_prime(&km).expect("k nonzero");
+            let kinv = fd.inv(&km).expect("k nonzero");
             let rm = fd.to_mont(&r);
             let dm = fd.to_mont(&self.d);
             let zm = fd.to_mont(&z);
@@ -147,7 +264,44 @@ impl fmt::Debug for SigningKey {
     }
 }
 
+/// Process-wide registry sharing one precomp slot per distinct public
+/// key, so re-parsing the same certificate (every block decode does)
+/// reuses the table built on first verification instead of rebuilding
+/// it. Bounded: once full, new keys simply get private (unshared) slots.
+fn shared_precomp_slot(point: &AffinePoint) -> Arc<OnceLock<KeyPrecomp>> {
+    type Registry =
+        std::sync::Mutex<std::collections::HashMap<[u8; 64], Arc<OnceLock<KeyPrecomp>>>>;
+    const REGISTRY_CAP: usize = 1024;
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    let registry = REGISTRY.get_or_init(Default::default);
+    let mut key = [0u8; 64];
+    key[..32].copy_from_slice(&point.x_bytes());
+    key[32..].copy_from_slice(&point.y_bytes());
+    let mut map = registry.lock().expect("precomp registry poisoned");
+    if let Some(slot) = map.get(&key) {
+        return Arc::clone(slot);
+    }
+    let slot = Arc::new(OnceLock::new());
+    if map.len() < REGISTRY_CAP {
+        map.insert(key, Arc::clone(&slot));
+    }
+    slot
+}
+
 impl VerifyingKey {
+    fn new(point: AffinePoint) -> Self {
+        if point.infinity {
+            return VerifyingKey {
+                point,
+                precomp: Arc::new(OnceLock::new()),
+            };
+        }
+        VerifyingKey {
+            point,
+            precomp: shared_precomp_slot(&point),
+        }
+    }
+
     /// Wraps an existing curve point.
     ///
     /// # Errors
@@ -157,7 +311,7 @@ impl VerifyingKey {
         if point.infinity {
             return Err(EcdsaError::InvalidPoint(PointError::NotOnCurve));
         }
-        Ok(VerifyingKey { point })
+        Ok(VerifyingKey::new(point))
     }
 
     /// Parses an uncompressed SEC1 encoding (65 bytes, `04 || X || Y`).
@@ -187,7 +341,8 @@ impl VerifyingKey {
 
     /// Verifies against a precomputed digest. This is the operation the
     /// paper's `ecdsa_engine` implements: input `{signature, key, hash}`,
-    /// output valid/invalid.
+    /// output valid/invalid — and the hottest function in the whole
+    /// validator (see the module docs for the optimization pipeline).
     ///
     /// # Errors
     ///
@@ -200,7 +355,68 @@ impl VerifyingKey {
         if sig.r.is_zero() || &sig.r >= n || sig.s.is_zero() || &sig.s >= n {
             return Err(EcdsaError::InvalidScalar);
         }
+        let fd = &c.fn_;
+        let sm = fd.to_mont(&sig.s);
+        let sinv = fd.from_mont(&fd.inv(&sm).expect("s nonzero"));
+        self.verify_prehashed_with_sinv(digest, sig, &sinv)
+    }
+
+    /// [`Self::verify_prehashed`] with the `s⁻¹ mod n` supplied by the
+    /// caller — the entry point for *batched* verification, where
+    /// [`batch_s_inverses`] amortizes every inversion in a block into
+    /// one (Montgomery's trick), exactly as the tentpole hardware's
+    /// shared modular-inverse unit would.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::verify_prehashed`]; an inconsistent `sinv` simply
+    /// fails verification.
+    pub fn verify_prehashed_with_sinv(
+        &self,
+        digest: &[u8; 32],
+        sig: &Signature,
+        sinv: &U256,
+    ) -> Result<(), EcdsaError> {
+        let c = p256();
+        let n = &c.order;
+        if sig.r.is_zero() || &sig.r >= n || sig.s.is_zero() || &sig.s >= n {
+            return Err(EcdsaError::InvalidScalar);
+        }
         let z = bits2int(digest, n);
+        let fd = &c.fn_;
+        let sinv_m = fd.to_mont(sinv);
+        let u1 = fd.from_mont(&fd.mul(&sinv_m, &fd.to_mont(&z)));
+        let u2 = fd.from_mont(&fd.mul(&sinv_m, &fd.to_mont(&sig.r)));
+        let precomp = self.precomp.get_or_init(|| KeyPrecomp::build(&self.point));
+        let rp = mul_fixed_base(&u1).add(&precomp.mul(&u2));
+        if rp.eq_x_mod_order(&sig.r) {
+            Ok(())
+        } else {
+            Err(EcdsaError::InvalidSignature)
+        }
+    }
+
+    /// The seed implementation of verification — bit-serial Shamir
+    /// double-scalar ladder, Fermat inversions, long-division
+    /// reductions — kept verbatim as the reference path. Randomized
+    /// tests assert it agrees with [`Self::verify_prehashed`], and the
+    /// validation benchmark reports the speedup of the new path against
+    /// this one.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::verify_prehashed`].
+    pub fn verify_prehashed_shamir(
+        &self,
+        digest: &[u8; 32],
+        sig: &Signature,
+    ) -> Result<(), EcdsaError> {
+        let c = p256();
+        let n = &c.order;
+        if sig.r.is_zero() || &sig.r >= n || sig.s.is_zero() || &sig.s >= n {
+            return Err(EcdsaError::InvalidScalar);
+        }
+        let z = U512::from_u256(&U256::from_be_bytes(digest)).rem(n);
         let fd = &c.fn_;
         let sm = fd.to_mont(&sig.s);
         let sinv = fd.inv_prime(&sm).expect("s nonzero");
@@ -219,6 +435,36 @@ impl VerifyingKey {
             Err(EcdsaError::InvalidSignature)
         }
     }
+}
+
+/// Computes `s⁻¹ mod n` for a whole block's worth of signatures with a
+/// *single* modular inversion (Montgomery's trick) — the amortization
+/// step of the batched verification pipeline. The result is positional:
+/// `out[i]` feeds [`VerifyingKey::verify_prehashed_with_sinv`] for
+/// `sigs[i]`. Out-of-range `s` values (zero or `≥ n`) yield a zero
+/// entry, which downstream verification rejects as it would any wrong
+/// inverse.
+pub fn batch_s_inverses(sigs: &[Signature]) -> Vec<U256> {
+    let c = p256();
+    let n = &c.order;
+    let fd = &c.fn_;
+    let mut values: Vec<U256> = sigs
+        .iter()
+        .map(|sig| {
+            if sig.s.is_zero() || &sig.s >= n {
+                U256::ZERO
+            } else {
+                fd.to_mont(&sig.s)
+            }
+        })
+        .collect();
+    fd.batch_inv(&mut values);
+    for v in values.iter_mut() {
+        if !v.is_zero() {
+            *v = fd.from_mont(v);
+        }
+    }
+    values
 }
 
 impl fmt::Debug for VerifyingKey {
@@ -254,9 +500,11 @@ impl Signature {
 }
 
 /// RFC 6979 §2.3.2: convert a digest to an integer mod `n`. For P-256 with
-/// SHA-256 both are 256 bits, so this is a plain reduction.
+/// SHA-256 both are 256 bits, so this is a plain reduction — and since
+/// `n > 2^255`, any 256-bit digest is `< 2n` and one conditional
+/// subtraction replaces the seed's 256-step long division.
 fn bits2int(digest: &[u8; 32], n: &U256) -> U256 {
-    U512::from_u256(&U256::from_be_bytes(digest)).rem(n)
+    U256::from_be_bytes(digest).reduce_once(n)
 }
 
 /// HMAC-DRBG nonce generator from RFC 6979 §3.2.
@@ -272,7 +520,7 @@ impl Rfc6979 {
         let h_reduced = bits2int(digest, &n).to_be_bytes();
         let mut k = [0u8; 32];
         let mut v = [1u8; 32]; // V = 0x01 x 32
-        // K = HMAC_K(V || 0x00 || x || h1)
+                               // K = HMAC_K(V || 0x00 || x || h1)
         let mut msg = Vec::with_capacity(32 + 1 + 32 + 32);
         msg.extend_from_slice(&v);
         msg.push(0x00);
@@ -422,16 +670,25 @@ mod tests {
 
     #[test]
     fn zero_scalar_rejected() {
-        assert_eq!(SigningKey::from_scalar(U256::ZERO).unwrap_err(), EcdsaError::InvalidScalar);
+        assert_eq!(
+            SigningKey::from_scalar(U256::ZERO).unwrap_err(),
+            EcdsaError::InvalidScalar
+        );
         let n = p256().order;
-        assert_eq!(SigningKey::from_scalar(n).unwrap_err(), EcdsaError::InvalidScalar);
+        assert_eq!(
+            SigningKey::from_scalar(n).unwrap_err(),
+            EcdsaError::InvalidScalar
+        );
     }
 
     #[test]
     fn out_of_range_signature_rejected() {
         let key = SigningKey::from_seed(b"range");
         let digest = sha256(b"msg");
-        let bad = Signature { r: U256::ZERO, s: U256::ONE };
+        let bad = Signature {
+            r: U256::ZERO,
+            s: U256::ONE,
+        };
         assert_eq!(
             key.verifying_key().verify_prehashed(&digest, &bad),
             Err(EcdsaError::InvalidScalar)
@@ -453,6 +710,68 @@ mod tests {
         assert_eq!(a.to_be_bytes(), b.to_be_bytes());
         let c = SigningKey::from_seed(b"org1.peer1");
         assert_ne!(a.to_be_bytes(), c.to_be_bytes());
+    }
+
+    #[test]
+    fn fast_and_shamir_paths_agree() {
+        let key = SigningKey::from_seed(b"agree");
+        let digest = sha256(b"payload");
+        let sig = key.sign_prehashed(&digest);
+        let vk = key.verifying_key();
+        assert!(vk.verify_prehashed(&digest, &sig).is_ok());
+        assert!(vk.verify_prehashed_shamir(&digest, &sig).is_ok());
+        // Corruptions fail identically on both paths.
+        let mut bad = sig;
+        bad.r = bad.r.wrapping_add(&U256::ONE);
+        assert_eq!(
+            vk.verify_prehashed(&digest, &bad).is_ok(),
+            vk.verify_prehashed_shamir(&digest, &bad).is_ok()
+        );
+        let other = sha256(b"other payload");
+        assert_eq!(
+            vk.verify_prehashed(&other, &sig).is_ok(),
+            vk.verify_prehashed_shamir(&other, &sig).is_ok()
+        );
+    }
+
+    #[test]
+    fn batched_sinv_verification_matches() {
+        let keys: Vec<SigningKey> = (0..5)
+            .map(|i| SigningKey::from_seed(format!("batch{i}").as_bytes()))
+            .collect();
+        let digests: Vec<[u8; 32]> = (0..5)
+            .map(|i| sha256(format!("msg{i}").as_bytes()))
+            .collect();
+        let sigs: Vec<Signature> = keys
+            .iter()
+            .zip(&digests)
+            .map(|(k, d)| k.sign_prehashed(d))
+            .collect();
+        let sinvs = batch_s_inverses(&sigs);
+        for i in 0..5 {
+            assert!(keys[i]
+                .verifying_key()
+                .verify_prehashed_with_sinv(&digests[i], &sigs[i], &sinvs[i])
+                .is_ok());
+            // Wrong sinv (from a different signature) must fail.
+            let wrong = sinvs[(i + 1) % 5];
+            assert!(keys[i]
+                .verifying_key()
+                .verify_prehashed_with_sinv(&digests[i], &sigs[i], &wrong)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn cloned_keys_share_precomp_and_agree() {
+        let key = SigningKey::from_seed(b"clone");
+        let digest = sha256(b"m");
+        let sig = key.sign_prehashed(&digest);
+        let vk1 = key.verifying_key().clone();
+        let vk2 = vk1.clone();
+        assert!(vk1.verify_prehashed(&digest, &sig).is_ok());
+        assert!(vk2.verify_prehashed(&digest, &sig).is_ok());
+        assert_eq!(vk1, vk2);
     }
 
     #[test]

@@ -124,7 +124,13 @@ impl NodeId {
 
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Org{}.{}{}", self.org + 1, capitalized(self.role), self.seq)
+        write!(
+            f,
+            "Org{}.{}{}",
+            self.org + 1,
+            capitalized(self.role),
+            self.seq
+        )
     }
 }
 
@@ -211,8 +217,7 @@ impl Certificate {
         let not_before = cur.read_u64()?;
         let not_after = cur.read_u64()?;
         let key_bytes = cur.read_exact(65)?;
-        let public_key =
-            VerifyingKey::from_sec1_bytes(key_bytes).map_err(IdentityError::BadKey)?;
+        let public_key = VerifyingKey::from_sec1_bytes(key_bytes).map_err(IdentityError::BadKey)?;
         let extensions = cur.read_bytes()?.to_vec();
         let der = cur.read_bytes()?;
         let signature = crate::der::decode_signature(der)
@@ -314,7 +319,12 @@ impl CertificateAuthority {
     pub fn new(org_index: u8) -> Self {
         let org_name = format!("Org{}MSP", org_index + 1);
         let key = SigningKey::from_seed(format!("ca.{org_name}").as_bytes());
-        CertificateAuthority { org_index, org_name, key, next_serial: 1 }
+        CertificateAuthority {
+            org_index,
+            org_name,
+            key,
+            next_serial: 1,
+        }
     }
 
     /// The CA's verification key (trust anchor for the org).
@@ -335,9 +345,7 @@ impl CertificateAuthority {
     /// [`IdentityError::WrongOrg`] if the caller passes a mismatched org.
     pub fn issue(&mut self, role: Role, seq: u8) -> Result<SigningIdentity, IdentityError> {
         let node_id = NodeId::new(self.org_index, role, seq)?;
-        let key = SigningKey::from_seed(
-            format!("{}.{}{}", self.org_name, role, seq).as_bytes(),
-        );
+        let key = SigningKey::from_seed(format!("{}.{}{}", self.org_name, role, seq).as_bytes());
         let common_name = format!("{}{}.org{}.example.com", role, seq, self.org_index + 1);
         // Deterministic pseudo-random extensions blob: same identity always
         // serializes identically, so certificate fingerprints are stable.
@@ -356,13 +364,19 @@ impl CertificateAuthority {
             serial: self.next_serial,
             not_before: 1_600_000_000,
             not_after: 1_900_000_000,
-            public_key: *key.verifying_key(),
+            public_key: key.verifying_key().clone(),
             extensions,
-            signature: Signature { r: crate::bigint::U256::ONE, s: crate::bigint::U256::ONE },
+            signature: Signature {
+                r: crate::bigint::U256::ONE,
+                s: crate::bigint::U256::ONE,
+            },
         };
         self.next_serial += 1;
         cert.signature = self.key.sign(&cert.tbs_bytes());
-        Ok(SigningIdentity { identity: Identity { certificate: cert }, key })
+        Ok(SigningIdentity {
+            identity: Identity { certificate: cert },
+            key,
+        })
     }
 }
 
@@ -378,7 +392,10 @@ impl Msp {
     /// Creates an MSP with `num_orgs` organizations.
     pub fn new(num_orgs: u8) -> Self {
         let cas = (0..num_orgs).map(CertificateAuthority::new).collect();
-        Msp { cas, by_id: HashMap::new() }
+        Msp {
+            cas,
+            by_id: HashMap::new(),
+        }
     }
 
     /// Number of organizations.
@@ -392,13 +409,19 @@ impl Msp {
     ///
     /// [`IdentityError::WrongOrg`] for an unknown org, plus the
     /// [`CertificateAuthority::issue`] error cases.
-    pub fn issue(&mut self, org: u8, role: Role, seq: u8) -> Result<SigningIdentity, IdentityError> {
+    pub fn issue(
+        &mut self,
+        org: u8,
+        role: Role,
+        seq: u8,
+    ) -> Result<SigningIdentity, IdentityError> {
         let ca = self
             .cas
             .get_mut(org as usize)
             .ok_or(IdentityError::WrongOrg(org))?;
         let signing = ca.issue(role, seq)?;
-        self.by_id.insert(signing.node_id(), signing.identity.clone());
+        self.by_id
+            .insert(signing.node_id(), signing.identity.clone());
         Ok(signing)
     }
 
@@ -570,10 +593,16 @@ mod tests {
     fn chain_verification() {
         let mut ca = CertificateAuthority::new(0);
         let ident = ca.issue(Role::Peer, 0).unwrap();
-        assert!(ident.certificate().verify_issued_by(ca.public_key()).is_ok());
+        assert!(ident
+            .certificate()
+            .verify_issued_by(ca.public_key())
+            .is_ok());
         let mut other = CertificateAuthority::new(1);
         let _ = other.issue(Role::Peer, 0);
-        assert!(ident.certificate().verify_issued_by(other.public_key()).is_err());
+        assert!(ident
+            .certificate()
+            .verify_issued_by(other.public_key())
+            .is_err());
     }
 
     #[test]

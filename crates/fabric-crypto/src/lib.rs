@@ -5,11 +5,23 @@
 //! ~10% of validator time respectively). This crate implements that stack
 //! from scratch in pure Rust:
 //!
-//! * [`bigint`] — fixed-width 256-bit integers;
-//! * [`mont`] — Montgomery modular arithmetic for odd 256-bit moduli;
-//! * [`curve`] — NIST P-256 group operations (Jacobian coordinates,
-//!   windowed scalar multiplication, Shamir double-scalar multiplication);
-//! * [`ecdsa`] — ECDSA sign/verify with RFC 6979 deterministic nonces;
+//! * [`bigint`] — fixed-width 256-bit integers, with a dedicated
+//!   squaring kernel and single-subtraction reduction for `< 2m` values;
+//! * [`mont`] — Montgomery modular arithmetic for odd 256-bit moduli:
+//!   REDC multiply/square, Fermat and binary-Euclid inversion, and
+//!   Montgomery-trick *batch* inversion (one field inversion per block
+//!   of signatures);
+//! * [`curve`] — NIST P-256 group operations: Jacobian/mixed addition,
+//!   windowed and width-5 wNAF scalar multiplication, Shamir
+//!   double-scalar multiplication, a lazily built fixed-base comb table
+//!   for `k·G` (zero doublings per multiplication), batched affine
+//!   normalization, and a projective x-coordinate check that removes
+//!   the final inversion from ECDSA verification;
+//! * [`ecdsa`] — ECDSA sign/verify with RFC 6979 deterministic nonces.
+//!   Verification is the validator's hottest operation and runs on the
+//!   fixed-base + per-key split-wNAF fast path (see the module docs);
+//!   the seed's Shamir/Fermat path is preserved for cross-checking and
+//!   before/after benchmarking;
 //! * [`sha256`](mod@sha256) — FIPS 180-4 SHA-256 and HMAC-SHA-256;
 //! * [`der`] — strict DER encoding of `ECDSA-Sig-Value`;
 //! * [`identity`] — X.509-lite certificates (~860-byte class, like the

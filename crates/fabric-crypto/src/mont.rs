@@ -98,9 +98,10 @@ impl MontgomeryDomain {
         self.redc(&a.widening_mul(b))
     }
 
-    /// Montgomery squaring.
+    /// Montgomery squaring, using the dedicated squaring kernel (each
+    /// cross limb product computed once and doubled).
     pub fn sqr(&self, a: &U256) -> U256 {
-        self.mul(a, a)
+        self.redc(&a.widening_sqr())
     }
 
     /// Modular addition of two residues.
@@ -148,6 +149,112 @@ impl MontgomeryDomain {
         Some(self.pow(a, &exp))
     }
 
+    /// Multiplicative inverse of a residue via the binary extended
+    /// Euclidean algorithm — shift/add only, several times faster than
+    /// the Fermat ladder in [`Self::inv_prime`], and correct for any odd
+    /// modulus (not just primes).
+    ///
+    /// Returns `None` for the zero residue or when the value is not
+    /// coprime with the modulus.
+    pub fn inv(&self, a: &U256) -> Option<U256> {
+        let plain = self.from_mont(a);
+        let inv_plain = self.inv_euclid_plain(&plain)?;
+        Some(self.to_mont(&inv_plain))
+    }
+
+    /// Binary extended GCD inverse on plain (non-Montgomery) integers:
+    /// returns `x` with `a·x ≡ 1 (mod m)`, or `None` when no inverse
+    /// exists. `m` must be odd, which `new` already guarantees.
+    fn inv_euclid_plain(&self, a: &U256) -> Option<U256> {
+        let m = &self.m;
+        let a = a.rem(m);
+        if a.is_zero() {
+            return None;
+        }
+        let mut u = a;
+        let mut v = *m;
+        let mut x1 = U256::ONE;
+        let mut x2 = U256::ZERO;
+        while !u.is_zero() && u != U256::ONE && v != U256::ONE {
+            while !u.is_odd() {
+                u = u.shr_small(1);
+                x1 = half_mod(&x1, m);
+            }
+            while !v.is_odd() {
+                v = v.shr_small(1);
+                x2 = half_mod(&x2, m);
+            }
+            if u >= v {
+                u = u.wrapping_sub(&v);
+                x1 = x1.sub_mod(&x2, m);
+            } else {
+                v = v.wrapping_sub(&u);
+                x2 = x2.sub_mod(&x1, m);
+            }
+        }
+        if u == U256::ONE {
+            Some(x1)
+        } else if v == U256::ONE {
+            Some(x2)
+        } else {
+            // gcd(a, m) != 1: not invertible.
+            None
+        }
+    }
+
+    /// Montgomery batch inversion: inverts every invertible residue in
+    /// `values` at the cost of a *single* field inversion plus `3(n-1)`
+    /// multiplications (Montgomery's trick), writing results in place.
+    /// The returned mask is `true` exactly where `values[i]` now holds a
+    /// verified inverse; zero residues (and, under a composite modulus,
+    /// residues sharing a factor with it) are zeroed and reported
+    /// `false`.
+    ///
+    /// This is the block-level amortization the validator uses for the
+    /// `1/s` of every signature in a block.
+    pub fn batch_inv(&self, values: &mut [U256]) -> Vec<bool> {
+        let mut mask: Vec<bool> = values.iter().map(|v| !v.is_zero()).collect();
+        // prefix[i] = product of nonzero values[0..=i].
+        let mut prefix = Vec::with_capacity(values.len());
+        let mut acc = self.one();
+        for (v, &ok) in values.iter().zip(&mask) {
+            if ok {
+                acc = self.mul(&acc, v);
+            }
+            prefix.push(acc);
+        }
+        let mut inv_acc = match self.inv(&acc) {
+            Some(inv) => inv,
+            None => {
+                // Degenerate (all zero, or a non-coprime residue under a
+                // composite modulus): fall back to per-element inversion,
+                // downgrading the mask where no inverse exists.
+                for (v, ok) in values.iter_mut().zip(mask.iter_mut()) {
+                    if *ok {
+                        match self.inv(v) {
+                            Some(inv) => *v = inv,
+                            None => {
+                                *v = U256::ZERO;
+                                *ok = false;
+                            }
+                        }
+                    }
+                }
+                return mask;
+            }
+        };
+        for i in (0..values.len()).rev() {
+            if !mask[i] {
+                continue;
+            }
+            let prev = if i == 0 { self.one() } else { prefix[i - 1] };
+            let inv_i = self.mul(&inv_acc, &prev);
+            inv_acc = self.mul(&inv_acc, &values[i]);
+            values[i] = inv_i;
+        }
+        mask
+    }
+
     /// Montgomery reduction (REDC) of a 512-bit value `t < m·R`:
     /// returns `t·R^-1 mod m`.
     fn redc(&self, t: &U512) -> U256 {
@@ -183,13 +290,28 @@ impl MontgomeryDomain {
     }
 }
 
+/// Halves `x` modulo an odd `m`: `x/2` when even, `(x+m)/2` otherwise
+/// (tracking the possible 257th carry bit of the addition).
+fn half_mod(x: &U256, m: &U256) -> U256 {
+    debug_assert!(x < m);
+    if !x.is_odd() {
+        x.shr_small(1)
+    } else {
+        let (sum, carry) = x.overflowing_add(m);
+        let mut half = sum.shr_small(1);
+        if carry {
+            half.0[3] |= 1 << 63;
+        }
+        half
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn p256_prime() -> U256 {
-        U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
-            .unwrap()
+        U256::from_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff").unwrap()
     }
 
     #[test]
@@ -248,6 +370,87 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn even_modulus_rejected() {
         MontgomeryDomain::new(U256::from_u64(100));
+    }
+
+    #[test]
+    fn euclid_inverse_matches_fermat() {
+        let dom = MontgomeryDomain::new(p256_prime());
+        for v in [1u64, 2, 3, 0xdead_beef, u64::MAX] {
+            let x = dom.to_mont(&U256::from_u64(v));
+            assert_eq!(dom.inv(&x), dom.inv_prime(&x), "v={v}");
+        }
+        assert_eq!(dom.inv(&U256::ZERO), None);
+    }
+
+    #[test]
+    fn euclid_inverse_detects_common_factor() {
+        // Composite modulus 3 * 5 * 7 = 105: multiples of 3 have no inverse.
+        let dom = MontgomeryDomain::new(U256::from_u64(105));
+        let x = dom.to_mont(&U256::from_u64(21));
+        assert_eq!(dom.inv(&x), None);
+        let y = dom.to_mont(&U256::from_u64(11));
+        let yi = dom.inv(&y).unwrap();
+        assert_eq!(dom.from_mont(&dom.mul(&y, &yi)), U256::ONE);
+    }
+
+    #[test]
+    fn batch_inversion_matches_individual() {
+        let dom = MontgomeryDomain::new(p256_prime());
+        let mut values: Vec<U256> = [7u64, 11, 13, 0, 12345, 0, 99]
+            .iter()
+            .map(|&v| {
+                if v == 0 {
+                    U256::ZERO
+                } else {
+                    dom.to_mont(&U256::from_u64(v))
+                }
+            })
+            .collect();
+        let originals = values.clone();
+        let mask = dom.batch_inv(&mut values);
+        assert_eq!(mask, vec![true, true, true, false, true, false, true]);
+        for i in 0..values.len() {
+            if mask[i] {
+                assert_eq!(Some(values[i]), dom.inv_prime(&originals[i]), "i={i}");
+            } else {
+                assert!(values[i].is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_inversion_all_zero() {
+        let dom = MontgomeryDomain::new(p256_prime());
+        let mut values = vec![U256::ZERO; 3];
+        let mask = dom.batch_inv(&mut values);
+        assert_eq!(mask, vec![false; 3]);
+    }
+
+    #[test]
+    fn batch_inversion_composite_modulus_flags_non_invertible() {
+        // 105 = 3·5·7: residues sharing a factor have no inverse and
+        // must come back masked false and zeroed, not left in place.
+        let dom = MontgomeryDomain::new(U256::from_u64(105));
+        let mut values = vec![
+            dom.to_mont(&U256::from_u64(3)),
+            dom.to_mont(&U256::from_u64(11)),
+            U256::ZERO,
+        ];
+        let mask = dom.batch_inv(&mut values);
+        assert_eq!(mask, vec![false, true, false]);
+        assert!(values[0].is_zero());
+        assert!(values[2].is_zero());
+        let eleven = dom.to_mont(&U256::from_u64(11));
+        assert_eq!(dom.from_mont(&dom.mul(&eleven, &values[1])), U256::ONE);
+    }
+
+    #[test]
+    fn dedicated_squaring_matches_mul() {
+        let dom = MontgomeryDomain::new(p256_prime());
+        for v in [0u64, 1, 3, u64::MAX, 0x1234_5678_9abc_def0] {
+            let x = dom.to_mont(&U256::from_u64(v));
+            assert_eq!(dom.sqr(&x), dom.mul(&x, &x), "v={v}");
+        }
     }
 
     #[test]

@@ -42,7 +42,12 @@ const H0: [u32; 8] = [
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; 64], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.
@@ -75,7 +80,11 @@ impl Sha256 {
     pub fn finalize(mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
         // Padding: 0x80, zeros to 56 mod 64, then 8-byte big-endian length.
-        let pad_len = if self.buf_len < 56 { 56 - self.buf_len } else { 120 - self.buf_len };
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
         let mut pad = [0u8; 72];
         pad[0] = 0x80;
         pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
@@ -249,7 +258,10 @@ mod tests {
     fn hmac_long_key_is_hashed() {
         // RFC 4231 test case 6: 131-byte key
         let key = [0xaau8; 131];
-        let got = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let got = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(
             got.to_vec(),
             hex("60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54")

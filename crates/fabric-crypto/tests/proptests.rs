@@ -142,6 +142,106 @@ proptest! {
     }
 
     #[test]
+    fn fixed_base_comb_matches_windowed_mul(k in arb_scalar()) {
+        let g = AffinePoint::generator().to_jacobian();
+        prop_assert_eq!(
+            fabric_crypto::curve::mul_fixed_base(&k).to_affine(),
+            g.mul_scalar(&k).to_affine()
+        );
+    }
+
+    #[test]
+    fn wnaf_matches_windowed_mul(k in arb_scalar(), q in 2u64..100_000) {
+        let base = AffinePoint::generator().to_jacobian().mul_scalar(&U256::from_u64(q));
+        prop_assert_eq!(
+            base.mul_scalar_wnaf(&k).to_affine(),
+            base.mul_scalar(&k).to_affine()
+        );
+    }
+
+    #[test]
+    fn batch_inversion_matches_individual(values in proptest::collection::vec(arb_u256(), 1..24)) {
+        // Mix of arbitrary residues including zeros (arb_u256 hits zero
+        // via its edge bias; force one in as well).
+        let dom = &p256().fn_;
+        let m = *dom.modulus();
+        let mut residues: Vec<U256> = values.iter().map(|v| v.rem(&m)).collect();
+        residues.push(U256::ZERO);
+        let originals = residues.clone();
+        let mask = dom.batch_inv(&mut residues);
+        for i in 0..originals.len() {
+            if originals[i].is_zero() {
+                prop_assert!(!mask[i]);
+                prop_assert!(residues[i].is_zero());
+            } else {
+                prop_assert!(mask[i]);
+                prop_assert_eq!(Some(residues[i]), dom.inv_prime(&originals[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn euclid_inverse_matches_fermat(a in arb_scalar()) {
+        let dom = &p256().fn_;
+        let am = dom.to_mont(&a);
+        prop_assert_eq!(dom.inv(&am), dom.inv_prime(&am));
+    }
+
+    #[test]
+    fn dedicated_squaring_matches_mul(a in arb_u256()) {
+        prop_assert_eq!(a.widening_sqr().0, a.widening_mul(&a).0);
+    }
+
+    #[test]
+    fn reduce_once_matches_rem_for_digests(bytes in any::<[u8; 32]>()) {
+        // Any 256-bit value is < 2n for the P-256 order.
+        let n = p256().order;
+        let v = U256::from_be_bytes(&bytes);
+        prop_assert_eq!(v.reduce_once(&n), v.rem(&n));
+    }
+
+    #[test]
+    fn verify_paths_agree(seed in any::<[u8; 16]>(), msg in proptest::collection::vec(any::<u8>(), 0..128), corrupt in any::<bool>(), flip in 0u8..255) {
+        let key = SigningKey::from_seed(&seed);
+        let digest = sha256(&msg);
+        let mut sig = key.sign_prehashed(&digest);
+        if corrupt {
+            // Bit-flip somewhere in (r, s).
+            let mut raw = sig.to_raw_bytes();
+            raw[(flip as usize) % 64] ^= 1 << (flip % 8);
+            match Signature::from_raw_bytes(&raw) {
+                Ok(s) => sig = s,
+                Err(_) => return Ok(()), // out-of-range: both paths reject by range check
+            }
+        }
+        let vk = key.verifying_key();
+        prop_assert_eq!(
+            vk.verify_prehashed(&digest, &sig).is_ok(),
+            vk.verify_prehashed_shamir(&digest, &sig).is_ok()
+        );
+    }
+
+    #[test]
+    fn batch_sinv_matches_single(count in 1usize..8, seed in any::<[u8; 16]>()) {
+        let keys: Vec<SigningKey> = (0..count)
+            .map(|i| {
+                let mut s = seed.to_vec();
+                s.push(i as u8);
+                SigningKey::from_seed(&s)
+            })
+            .collect();
+        let digests: Vec<[u8; 32]> = (0..count).map(|i| sha256(&[i as u8])).collect();
+        let sigs: Vec<_> = keys.iter().zip(&digests).map(|(k, d)| k.sign_prehashed(d)).collect();
+        let sinvs = fabric_crypto::ecdsa::batch_s_inverses(&sigs);
+        for i in 0..count {
+            prop_assert!(keys[i]
+                .verifying_key()
+                .verify_prehashed_with_sinv(&digests[i], &sigs[i], &sinvs[i])
+                .is_ok());
+        }
+    }
+
+    #[test]
     fn der_roundtrip(r in arb_scalar(), s in arb_scalar()) {
         let sig = Signature { r, s };
         let der = encode_signature(&sig);

@@ -94,7 +94,10 @@ impl fmt::Display for LedgerError {
             LedgerError::BrokenChain => write!(f, "previous_hash does not match chain tip"),
             LedgerError::Duplicate(n) => write!(f, "duplicate block {n}"),
             LedgerError::FilterMismatch => {
-                write!(f, "validation filter length does not match transaction count")
+                write!(
+                    f,
+                    "validation filter length does not match transaction count"
+                )
             }
         }
     }
@@ -164,7 +167,10 @@ impl Ledger {
             return Err(if block.header.number < expected {
                 LedgerError::Duplicate(block.header.number)
             } else {
-                LedgerError::OutOfOrder { expected, got: block.header.number }
+                LedgerError::OutOfOrder {
+                    expected,
+                    got: block.header.number,
+                }
             });
         }
         let tip = g.blocks.last().map(|b| b.header_hash).unwrap_or([0u8; 32]);
@@ -192,7 +198,12 @@ impl Ledger {
                 }
             }
         }
-        let committed = CommittedBlock { block, header_hash, tx_filter, commit_hash };
+        let committed = CommittedBlock {
+            block,
+            header_hash,
+            tx_filter,
+            commit_hash,
+        };
         g.blocks.push(committed.clone());
         Ok(committed)
     }
@@ -253,7 +264,10 @@ impl HistoryDb {
 
     /// Records that `key` was modified by `(block, tx)`.
     pub fn record(&mut self, key: &str, block: u64, tx: u64) {
-        self.entries.entry(key.to_string()).or_default().push((block, tx));
+        self.entries
+            .entry(key.to_string())
+            .or_default()
+            .push((block, tx));
     }
 
     /// All modifications of `key`, oldest first.
@@ -333,7 +347,10 @@ mod tests {
             ledger
                 .commit_block(b5, &ids5, vec![TxValidationCode::Valid], &[vec![]])
                 .unwrap_err(),
-            LedgerError::OutOfOrder { expected: 1, got: 5 }
+            LedgerError::OutOfOrder {
+                expected: 1,
+                got: 5
+            }
         );
     }
 

@@ -166,7 +166,9 @@ impl Chaincode for KvChaincode {
                         "insufficient funds: {from_bal} < {amount}"
                     )));
                 }
-                result.reads.push((from.clone(), from_val.map(|v| v.version)));
+                result
+                    .reads
+                    .push((from.clone(), from_val.map(|v| v.version)));
                 result.reads.push((to.clone(), to_val.map(|v| v.version)));
                 result
                     .writes
@@ -213,7 +215,11 @@ mod tests {
         db.apply(&b, Height::new(1, 0));
         let cc = KvChaincode::new("kv");
         let r = cc
-            .execute("transfer", &["alice".into(), "bob".into(), "30".into()], &db)
+            .execute(
+                "transfer",
+                &["alice".into(), "bob".into(), "30".into()],
+                &db,
+            )
             .unwrap();
         assert_eq!(r.writes[0].1, b"70".to_vec());
         assert_eq!(r.writes[1].1, b"80".to_vec());

@@ -109,8 +109,7 @@ impl Client {
         let mut nonce = vec![0u8; 24];
         self.rng.fill(&mut nonce[..]);
         self.txs_created += 1;
-        let endorser_ids: Vec<&SigningIdentity> =
-            endorsers.iter().map(|e| e.identity()).collect();
+        let endorser_ids: Vec<&SigningIdentity> = endorsers.iter().map(|e| e.identity()).collect();
         // The state DB versions become wire-format rwset versions.
         let reads = sim
             .reads
@@ -201,7 +200,9 @@ mod tests {
     fn no_endorsers_rejected() {
         let (mut client, _, _) = setup();
         assert_eq!(
-            client.create_transaction(&mut [], "kv", "put", &[]).unwrap_err(),
+            client
+                .create_transaction(&mut [], "kv", "put", &[])
+                .unwrap_err(),
             ClientError::NoEndorsers
         );
     }

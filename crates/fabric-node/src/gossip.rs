@@ -59,7 +59,10 @@ mod tests {
             let wire = gossip_wire_bytes(size);
             assert!(wire > size, "overhead for {size}");
             // Overhead is bounded (< 10%) for large blocks.
-            assert!(wire < size + size / 10 + 1_000, "bounded overhead for {size}");
+            assert!(
+                wire < size + size / 10 + 1_000,
+                "bounded overhead for {size}"
+            );
         }
     }
 
@@ -165,6 +168,9 @@ mod dissemination_tests {
         let mut model = DisseminationModel::new(1, 2, &NetLink::gigabit());
         let first = model.disseminate(0, 500_000);
         let second = model.disseminate(0, 500_000);
-        assert!(second[0].2 > first[0].2, "second block queues behind the first");
+        assert!(
+            second[0].2 > first[0].2,
+            "second block queues behind the first"
+        );
     }
 }

@@ -27,7 +27,11 @@ pub struct OrdererConfig {
 
 impl Default for OrdererConfig {
     fn default() -> Self {
-        OrdererConfig { block_size: 150, cluster_size: 1, seed: 7 }
+        OrdererConfig {
+            block_size: 150,
+            cluster_size: 1,
+            seed: 7,
+        }
     }
 }
 
@@ -54,7 +58,8 @@ impl OrderingService {
     pub fn new(identity: SigningIdentity, config: OrdererConfig) -> Self {
         let cluster = if config.cluster_size > 1 {
             let mut c = Cluster::new(config.cluster_size, config.seed);
-            c.run_until_leader(1000).expect("raft cluster elects a leader");
+            c.run_until_leader(1000)
+                .expect("raft cluster elects a leader");
             Some(c)
         } else {
             None
@@ -175,7 +180,11 @@ mod tests {
     fn cuts_block_at_configured_size() {
         let mut svc = OrderingService::new(
             orderer_identity(),
-            OrdererConfig { block_size: 3, cluster_size: 1, seed: 1 },
+            OrdererConfig {
+                block_size: 3,
+                cluster_size: 1,
+                seed: 1,
+            },
         );
         assert!(svc.submit(vec![1]).unwrap().is_empty());
         assert!(svc.submit(vec![2]).unwrap().is_empty());
@@ -189,11 +198,18 @@ mod tests {
     fn blocks_chain_hashes() {
         let mut svc = OrderingService::new(
             orderer_identity(),
-            OrdererConfig { block_size: 1, cluster_size: 1, seed: 1 },
+            OrdererConfig {
+                block_size: 1,
+                cluster_size: 1,
+                seed: 1,
+            },
         );
         let b0 = svc.submit(vec![1]).unwrap().remove(0);
         let b1 = svc.submit(vec![2]).unwrap().remove(0);
-        assert_eq!(b1.header.previous_hash, block_header_hash(&b0.header).to_vec());
+        assert_eq!(
+            b1.header.previous_hash,
+            block_header_hash(&b0.header).to_vec()
+        );
         assert_eq!(svc.blocks_cut(), 2);
     }
 
@@ -201,7 +217,11 @@ mod tests {
     fn partial_block_on_timeout() {
         let mut svc = OrderingService::new(
             orderer_identity(),
-            OrdererConfig { block_size: 10, cluster_size: 1, seed: 1 },
+            OrdererConfig {
+                block_size: 10,
+                cluster_size: 1,
+                seed: 1,
+            },
         );
         svc.submit(vec![1]).unwrap();
         svc.submit(vec![2]).unwrap();
@@ -214,7 +234,11 @@ mod tests {
     fn multi_orderer_raft_orders_envelopes() {
         let mut svc = OrderingService::new(
             orderer_identity(),
-            OrdererConfig { block_size: 2, cluster_size: 3, seed: 42 },
+            OrdererConfig {
+                block_size: 2,
+                cluster_size: 3,
+                seed: 42,
+            },
         );
         svc.submit(b"tx1".to_vec()).unwrap();
         let blocks = svc.submit(b"tx2".to_vec()).unwrap();

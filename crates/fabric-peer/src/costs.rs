@@ -67,6 +67,11 @@ pub struct SwCosts {
     pub policy_visit: SimTime,
     /// Per-block fixed cost of receiving + scheduling (gossip handoff).
     pub block_fixed: SimTime,
+    /// One sharded-LRU signature-cache probe (hash of the
+    /// key‖digest‖signature triple plus a locked map lookup). Only the
+    /// cache-aware model variants use this; the calibrated baseline
+    /// matches the paper's cacheless Fabric v1.4.
+    pub sig_cache_lookup: SimTime,
 }
 
 impl Default for SwCosts {
@@ -84,6 +89,7 @@ impl Default for SwCosts {
             ledger_commit_per_kb: 10 * MICROS,
             policy_visit: 85 * MICROS,
             block_fixed: 100 * MICROS,
+            sig_cache_lookup: 2 * MICROS,
         }
     }
 }

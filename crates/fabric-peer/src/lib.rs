@@ -23,7 +23,10 @@
 pub mod costs;
 pub mod model;
 pub mod pipeline;
+pub mod sigcache;
 
 pub use costs::SwCosts;
+pub use fabric_ledger::TxValidationCode;
 pub use model::{BlockProfile, CpuProfile, SwBreakdown, SwValidatorModel};
 pub use pipeline::{BlockValidationResult, StageTimings, ValidateError, ValidatorPipeline};
+pub use sigcache::{SigCacheKey, SigCacheStats, SignatureCache};

@@ -178,10 +178,61 @@ impl SwValidatorModel {
             c.block_fixed + p.num_txs as u64 * c.unmarshal_per_tx + kb * c.unmarshal_per_kb;
         let block_verify = c.verify();
 
-        // Parallel section: each tx costs (1 client + E endorsements)
-        // verifications plus any extra policy-evaluation visits. Software
-        // verifies ALL endorsements regardless of the policy.
-        let per_tx_parallel = (1 + p.endorsements_per_tx) as u64 * c.verify()
+        let verify_vscc = self.vscc_stage(p, c.verify());
+
+        let mvcc =
+            p.num_txs as u64 * (p.reads_per_tx as u64 * c.statedb_read + c.mvcc_compare_per_tx);
+        let statedb_commit = p.num_txs as u64 * p.writes_per_tx as u64 * c.statedb_write;
+        let ledger = c.ledger_commit_fixed + kb * c.ledger_commit_per_kb;
+
+        SwBreakdown {
+            unmarshal,
+            block_verify,
+            verify_vscc,
+            mvcc,
+            statedb_commit,
+            ledger,
+        }
+    }
+
+    /// Computes the stage breakdown for one block when the validator
+    /// runs the signature cache at a given hit rate (fraction of
+    /// verification tasks answered without ECDSA, in `[0, 1]`).
+    ///
+    /// The calibrated baseline ([`Self::validate_block`]) deliberately
+    /// models the paper's cacheless Fabric v1.4; this variant quantifies
+    /// what the pipeline's dedup layer recovers on redundant traffic —
+    /// each cached task costs one [`SwCosts::sig_cache_lookup`] instead
+    /// of a full [`SwCosts::verify`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hit_rate` is outside `[0, 1]`.
+    pub fn validate_block_cached(&self, p: &BlockProfile, hit_rate: f64) -> SwBreakdown {
+        assert!(
+            (0.0..=1.0).contains(&hit_rate),
+            "hit rate must be in [0, 1]"
+        );
+        let c = &self.costs;
+        let mut b = self.validate_block(p);
+        let check = (hit_rate * c.sig_cache_lookup as f64 + (1.0 - hit_rate) * c.verify() as f64)
+            .round() as SimTime;
+        b.verify_vscc = self.vscc_stage(p, check);
+        // The orderer check is one more cached-or-verified signature.
+        b.block_verify = check;
+        b
+    }
+
+    /// The verify+vscc stage cost given the cost of one signature
+    /// check: each tx carries (1 client + E endorsements) checks plus
+    /// any extra policy-evaluation visits, fanned out over the worker
+    /// pool, plus the serial per-tx dispatch overhead. Software
+    /// verifies ALL endorsements regardless of the policy. Shared by
+    /// the baseline and cache-aware models so their cost structure
+    /// cannot drift apart.
+    fn vscc_stage(&self, p: &BlockProfile, check: SimTime) -> SimTime {
+        let c = &self.costs;
+        let per_tx_parallel = (1 + p.endorsements_per_tx) as u64 * check
             + p.policy_extra_visits as u64 * c.policy_visit;
         let mut pool = ServerPool::new(self.workers);
         let mut makespan = 0;
@@ -189,14 +240,7 @@ impl SwValidatorModel {
             let (_, finish) = pool.run(0, per_tx_parallel);
             makespan = makespan.max(finish);
         }
-        let verify_vscc = p.num_txs as u64 * c.vscc_overhead_per_tx + makespan;
-
-        let mvcc = p.num_txs as u64
-            * (p.reads_per_tx as u64 * c.statedb_read + c.mvcc_compare_per_tx);
-        let statedb_commit = p.num_txs as u64 * p.writes_per_tx as u64 * c.statedb_write;
-        let ledger = c.ledger_commit_fixed + kb * c.ledger_commit_per_kb;
-
-        SwBreakdown { unmarshal, block_verify, verify_vscc, mvcc, statedb_commit, ledger }
+        p.num_txs as u64 * c.vscc_overhead_per_tx + makespan
     }
 
     /// CPU-time attribution for one block (drives Figure 3a).
@@ -226,8 +270,7 @@ impl SwValidatorModel {
             unmarshal: unmarshal_cpu,
             statedb: b.mvcc + b.statedb_commit,
             ledger: b.ledger,
-            other: p.num_txs as u64 * p.policy_extra_visits as u64 * c.policy_visit
-                + gossip_grpc,
+            other: p.num_txs as u64 * p.policy_extra_visits as u64 * c.policy_visit + gossip_grpc,
         }
     }
 }
@@ -242,12 +285,42 @@ mod tests {
         // Paper: block 250, 4 -> 16 vCPUs gives only ~1.5x (3,900 ->
         // 5,600 tps).
         let p = BlockProfile::smallbank(250);
-        let t4 = SwValidatorModel::new(4).validate_block(&p).throughput_tps(250);
-        let t16 = SwValidatorModel::new(16).validate_block(&p).throughput_tps(250);
+        let t4 = SwValidatorModel::new(4)
+            .validate_block(&p)
+            .throughput_tps(250);
+        let t16 = SwValidatorModel::new(16)
+            .validate_block(&p)
+            .throughput_tps(250);
         let scaling = t16 / t4;
         assert!(t4 > 2_800.0 && t4 < 4_500.0, "4 vCPU tps {t4}");
         assert!(t16 > 4_800.0 && t16 < 6_500.0, "16 vCPU tps {t16}");
         assert!(scaling > 1.3 && scaling < 1.9, "scaling {scaling}");
+    }
+
+    #[test]
+    fn cached_model_reduces_to_baseline_at_zero_hit_rate() {
+        let p = BlockProfile::smallbank(100);
+        let m = SwValidatorModel::new(4);
+        let base = m.validate_block(&p);
+        let cached = m.validate_block_cached(&p, 0.0);
+        assert_eq!(base.verify_vscc, cached.verify_vscc);
+        assert_eq!(base.block_verify, cached.block_verify);
+    }
+
+    #[test]
+    fn cached_model_scales_with_hit_rate() {
+        let p = BlockProfile::smallbank(100);
+        let m = SwValidatorModel::new(4);
+        let cold = m.validate_block_cached(&p, 0.0);
+        let warm = m.validate_block_cached(&p, 0.9);
+        let hot = m.validate_block_cached(&p, 1.0);
+        assert!(warm.verify_vscc < cold.verify_vscc);
+        assert!(hot.verify_vscc < warm.verify_vscc);
+        // At full hit rate only cache probes + serial overhead remain.
+        let c = m.costs();
+        let floor = 100 * c.vscc_overhead_per_tx;
+        assert!(hot.verify_vscc >= floor);
+        assert!(hot.verify_vscc < floor + 100 * c.verify());
     }
 
     #[test]
@@ -257,17 +330,23 @@ mod tests {
         let p = BlockProfile::smallbank(200);
         let b = SwValidatorModel::new(8).validate_block(&p);
         let unm_ms = b.unmarshal as f64 / MILLIS as f64;
-        let validation_ms =
-            (b.total_excl_ledger() - b.unmarshal) as f64 / MILLIS as f64;
+        let validation_ms = (b.total_excl_ledger() - b.unmarshal) as f64 / MILLIS as f64;
         assert!((6.0..10.5).contains(&unm_ms), "unmarshal {unm_ms} ms");
-        assert!((30.0..42.0).contains(&validation_ms), "validation {validation_ms} ms");
+        assert!(
+            (30.0..42.0).contains(&validation_ms),
+            "validation {validation_ms} ms"
+        );
     }
 
     #[test]
     fn throughput_grows_with_block_size() {
         let model = SwValidatorModel::new(8);
-        let t50 = model.validate_block(&BlockProfile::smallbank(50)).throughput_tps(50);
-        let t250 = model.validate_block(&BlockProfile::smallbank(250)).throughput_tps(250);
+        let t50 = model
+            .validate_block(&BlockProfile::smallbank(50))
+            .throughput_tps(50);
+        let t250 = model
+            .validate_block(&BlockProfile::smallbank(250))
+            .throughput_tps(250);
         assert!(t250 > t50, "amortization: {t50} -> {t250}");
     }
 
@@ -305,7 +384,10 @@ mod tests {
         let t_simple = model.validate_block(&simple).throughput_tps(150);
         let t_complex = model.validate_block(&complex).throughput_tps(150);
         assert!(t_complex < t_simple);
-        assert!((2_200.0..3_200.0).contains(&t_complex), "complex {t_complex}");
+        assert!(
+            (2_200.0..3_200.0).contains(&t_complex),
+            "complex {t_complex}"
+        );
     }
 
     #[test]
@@ -321,7 +403,12 @@ mod tests {
         assert!(unm > 3.0 && unm < 15.0, "unmarshal {unm}%");
         assert!(statedb < ecdsa, "statedb {statedb}% below ecdsa");
         // ecdsa is the single most expensive operation.
-        for other in [profile.sha256, profile.unmarshal, profile.statedb, profile.ledger] {
+        for other in [
+            profile.sha256,
+            profile.unmarshal,
+            profile.statedb,
+            profile.ledger,
+        ] {
             assert!(profile.ecdsa > other);
         }
     }
@@ -333,7 +420,9 @@ mod tests {
         let t_small = model
             .validate_block(&BlockProfile::smallbank(150))
             .throughput_tps(150);
-        let t_drm = model.validate_block(&BlockProfile::drm(150)).throughput_tps(150);
+        let t_drm = model
+            .validate_block(&BlockProfile::drm(150))
+            .throughput_tps(150);
         assert!(t_drm > t_small);
     }
 }

@@ -1,0 +1,341 @@
+//! Sharded LRU signature-verification cache.
+//!
+//! Fabric blocks carry heavy signature redundancy: the same endorser
+//! signs many transactions, gossip can deliver the same envelope twice,
+//! and re-validation after reconfiguration replays identical signatures.
+//! The Blockchain Machine gets this dedup for free — its hardware
+//! `ecdsa_engine` bank is fronted by the protocol's identity/annotation
+//! cache — so the software validator mirrors it: a verification result
+//! keyed by `SHA-256(pubkey ‖ digest ‖ r ‖ s)` is cached, and a repeated
+//! `(key, message, signature)` triple never reaches the ECDSA engine
+//! twice.
+//!
+//! The cache is sharded 16 ways (key-prefix selects the shard) so the
+//! vscc worker threads rarely contend on the same lock, and each shard
+//! is a classic arena-backed doubly-linked LRU with O(1) lookup, insert,
+//! touch, and eviction. Both positive *and* negative verdicts are
+//! cached: an attacker replaying a bad signature hits the cache instead
+//! of burning a verification.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use fabric_crypto::{sha256, Signature, VerifyingKey};
+
+const SHARDS: usize = 16;
+
+/// Cache key: SHA-256 over the SEC1 public key, the message digest, and
+/// the raw `(r, s)` pair. 32 bytes of collision-resistant identity for a
+/// (key, message, signature) triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SigCacheKey([u8; 32]);
+
+impl SigCacheKey {
+    /// Derives the cache key for a verification triple.
+    pub fn compute(key: &VerifyingKey, digest: &[u8; 32], sig: &Signature) -> Self {
+        let mut material = Vec::with_capacity(65 + 32 + 64);
+        material.extend_from_slice(&key.to_sec1_bytes());
+        material.extend_from_slice(digest);
+        material.extend_from_slice(&sig.to_raw_bytes());
+        SigCacheKey(sha256(&material))
+    }
+
+    fn shard(&self) -> usize {
+        self.0[0] as usize % SHARDS
+    }
+}
+
+/// Point-in-time cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SigCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to real verification.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum resident entries across all shards.
+    pub capacity: usize,
+}
+
+impl SigCacheStats {
+    /// Hit rate in [0, 1]; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A sharded LRU cache of signature-verification verdicts.
+#[derive(Debug)]
+pub struct SignatureCache {
+    shards: Vec<Mutex<LruShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SignatureCache {
+    /// Creates a cache holding up to `capacity` verdicts (rounded up to
+    /// a multiple of the shard count; minimum one entry per shard).
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        SignatureCache {
+            shards: (0..SHARDS)
+                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a verdict, refreshing the entry's recency on a hit.
+    pub fn get(&self, key: &SigCacheKey) -> Option<bool> {
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .expect("sigcache shard poisoned");
+        match shard.get(key) {
+            Some(valid) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(valid)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a verdict, evicting the least-recently-used entry if the
+    /// shard is full.
+    pub fn insert(&self, key: SigCacheKey, valid: bool) {
+        let mut shard = self.shards[key.shard()]
+            .lock()
+            .expect("sigcache shard poisoned");
+        shard.insert(key, valid);
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> SigCacheStats {
+        let entries = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("sigcache shard poisoned").map.len())
+            .sum();
+        let capacity = self.shards.len()
+            * self
+                .shards
+                .first()
+                .map(|s| s.lock().expect("sigcache shard poisoned").capacity)
+                .unwrap_or(0);
+        SigCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries,
+            capacity,
+        }
+    }
+}
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Entry {
+    key: SigCacheKey,
+    valid: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: hash map into a slot arena threaded as a doubly-linked
+/// recency list (head = most recent, tail = eviction candidate).
+#[derive(Debug)]
+struct LruShard {
+    capacity: usize,
+    map: HashMap<SigCacheKey, usize>,
+    arena: Vec<Entry>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
+        LruShard {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            arena: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn get(&mut self, key: &SigCacheKey) -> Option<bool> {
+        let idx = *self.map.get(key)?;
+        self.touch(idx);
+        Some(self.arena[idx].valid)
+    }
+
+    fn insert(&mut self, key: SigCacheKey, valid: bool) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.arena[idx].valid = valid;
+            self.touch(idx);
+            return;
+        }
+        let idx = if self.arena.len() < self.capacity {
+            self.arena.push(Entry {
+                key,
+                valid,
+                prev: NIL,
+                next: NIL,
+            });
+            self.arena.len() - 1
+        } else {
+            // Evict the tail slot and reuse it.
+            let idx = self.tail;
+            self.unlink(idx);
+            let old_key = self.arena[idx].key;
+            self.map.remove(&old_key);
+            self.arena[idx] = Entry {
+                key,
+                valid,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+
+    /// Moves an existing linked entry to the front.
+    fn touch(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.arena[idx].prev, self.arena[idx].next);
+        if prev != NIL {
+            self.arena[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.arena[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.arena[idx].prev = NIL;
+        self.arena[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.arena[idx].prev = NIL;
+        self.arena[idx].next = self.head;
+        if self.head != NIL {
+            self.arena[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_crypto::ecdsa::SigningKey;
+
+    fn triple(tag: u8) -> (VerifyingKey, [u8; 32], Signature) {
+        let key = SigningKey::from_seed(&[tag]);
+        let digest = sha256(&[tag, 1, 2, 3]);
+        let sig = key.sign_prehashed(&digest);
+        (key.verifying_key().clone(), digest, sig)
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = SignatureCache::new(64);
+        let (vk, digest, sig) = triple(1);
+        let key = SigCacheKey::compute(&vk, &digest, &sig);
+        assert_eq!(cache.get(&key), None);
+        cache.insert(key, true);
+        assert_eq!(cache.get(&key), Some(true));
+        assert_eq!(cache.get(&key), Some(true));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_verdicts_are_cached_too() {
+        let cache = SignatureCache::new(64);
+        let (vk, digest, mut sig) = triple(2);
+        sig.r = sig.s; // garbage but in-range
+        let key = SigCacheKey::compute(&vk, &digest, &sig);
+        cache.insert(key, false);
+        assert_eq!(cache.get(&key), Some(false));
+    }
+
+    #[test]
+    fn distinct_triples_get_distinct_keys() {
+        let (vk1, d1, s1) = triple(3);
+        let (vk2, d2, s2) = triple(4);
+        assert_ne!(
+            SigCacheKey::compute(&vk1, &d1, &s1),
+            SigCacheKey::compute(&vk2, &d2, &s2)
+        );
+        // Same key+digest, different signature: distinct entry.
+        assert_ne!(
+            SigCacheKey::compute(&vk1, &d1, &s1),
+            SigCacheKey::compute(&vk1, &d1, &s2)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // One-entry shards: every insert evicts the shard's prior entry.
+        let cache = SignatureCache::new(SHARDS);
+        let (vk, digest, sig) = triple(5);
+        let a = SigCacheKey::compute(&vk, &digest, &sig);
+        cache.insert(a, true);
+        assert_eq!(cache.get(&a), Some(true));
+        // Find another key landing in the same shard, then insert it.
+        let mut tag = 6u8;
+        let b = loop {
+            let (vk2, d2, s2) = triple(tag);
+            let candidate = SigCacheKey::compute(&vk2, &d2, &s2);
+            if candidate.shard() == a.shard() {
+                break candidate;
+            }
+            tag += 1;
+        };
+        cache.insert(b, true);
+        assert_eq!(cache.get(&b), Some(true));
+        assert_eq!(cache.get(&a), None, "old entry evicted from full shard");
+    }
+
+    #[test]
+    fn heavy_churn_stays_consistent() {
+        let cache = SignatureCache::new(32);
+        let keys: Vec<SigCacheKey> = (0..200u8).map(|i| SigCacheKey(sha256(&[i]))).collect();
+        for (i, k) in keys.iter().enumerate() {
+            cache.insert(*k, i % 2 == 0);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= stats.capacity);
+        // Recently inserted keys should mostly be resident; verify the
+        // very last one is.
+        assert_eq!(cache.get(keys.last().unwrap()), Some(false));
+    }
+}

@@ -29,7 +29,9 @@ pub struct RegisterFile {
 impl RegisterFile {
     /// Creates a cleared register file for `num_orgs` organizations.
     pub fn new(num_orgs: usize) -> Self {
-        RegisterFile { regs: vec![0; num_orgs] }
+        RegisterFile {
+            regs: vec![0; num_orgs],
+        }
     }
 
     /// Clears all bits (done by `tx_vscc` at the start of each
@@ -92,7 +94,12 @@ impl PolicyCircuit {
     /// k-combinations of ANDs, exactly like the paper's example expansion
     /// of "2-outof-3 orgs".
     pub fn compile(policy: &Policy) -> Self {
-        let mut c = PolicyCircuit { gates: Vec::new(), and_gates: 0, or_gates: 0, inputs: 0 };
+        let mut c = PolicyCircuit {
+            gates: Vec::new(),
+            and_gates: 0,
+            or_gates: 0,
+            inputs: 0,
+        };
         let out = c.lower(policy);
         // Ensure the output is the last node.
         if out != c.gates.len() - 1 {
@@ -377,9 +384,8 @@ mod tests {
     fn degenerate_outof_policies() {
         let always = PolicyCircuit::compile(&Policy::OutOf(0, vec![]));
         assert!(always.evaluate(&RegisterFile::new(1)));
-        let never = PolicyCircuit::compile(&Policy::OutOf(3, vec![
-            Policy::Signed(Principal::peer(0)),
-        ]));
+        let never =
+            PolicyCircuit::compile(&Policy::OutOf(3, vec![Policy::Signed(Principal::peer(0))]));
         let mut regs = RegisterFile::new(1);
         regs.set(peer(0));
         assert!(!never.evaluate(&regs));

@@ -45,7 +45,10 @@ pub struct Principal {
 impl Principal {
     /// Principal for an organization's peers (the common case).
     pub fn peer(org: u8) -> Self {
-        Principal { org, role: Role::Peer }
+        Principal {
+            org,
+            role: Role::Peer,
+        }
     }
 
     /// Whether `node` satisfies this principal.
@@ -83,7 +86,9 @@ impl Policy {
     pub fn k_out_of_n_orgs(k: usize, n: usize) -> Policy {
         Policy::OutOf(
             k,
-            (0..n).map(|o| Policy::Signed(Principal::peer(o as u8))).collect(),
+            (0..n)
+                .map(|o| Policy::Signed(Principal::peer(o as u8)))
+                .collect(),
         )
     }
 
@@ -238,8 +243,7 @@ impl Policy {
                 .min()
                 .unwrap_or(usize::MAX),
             Policy::OutOf(n, subs) => {
-                let mut costs: Vec<usize> =
-                    subs.iter().map(Policy::min_satisfying_bound).collect();
+                let mut costs: Vec<usize> = subs.iter().map(Policy::min_satisfying_bound).collect();
                 costs.sort_unstable();
                 costs.iter().take(*n).sum()
             }

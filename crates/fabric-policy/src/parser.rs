@@ -33,7 +33,11 @@ pub struct PolicyParseError {
 
 impl fmt::Display for PolicyParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "policy parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -53,7 +57,10 @@ impl std::error::Error for PolicyParseError {}
 /// # Ok::<(), fabric_policy::PolicyParseError>(())
 /// ```
 pub fn parse(input: &str) -> Result<Policy, PolicyParseError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let policy = p.expr()?;
     p.skip_ws();
     if p.pos != p.input.len() {
@@ -69,7 +76,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn error(&self, message: impl Into<String>) -> PolicyParseError {
-        PolicyParseError { position: self.pos, message: message.into() }
+        PolicyParseError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -205,7 +215,9 @@ impl Parser<'_> {
         if !self.eat_keyword("org") {
             return Err(self.error("expected 'Org'"));
         }
-        let n = self.number().ok_or_else(|| self.error("expected org number"))?;
+        let n = self
+            .number()
+            .ok_or_else(|| self.error("expected org number"))?;
         if n == 0 || n > 256 {
             return Err(self.error("org number must be 1..=256"));
         }
@@ -225,7 +237,10 @@ impl Parser<'_> {
         } else {
             Role::Peer
         };
-        Ok(Policy::Signed(Principal { org: (n - 1) as u8, role }))
+        Ok(Policy::Signed(Principal {
+            org: (n - 1) as u8,
+            role,
+        }))
     }
 }
 
@@ -235,7 +250,10 @@ mod tests {
 
     #[test]
     fn parses_paper_shorthands() {
-        assert_eq!(parse("2-outof-2 orgs").unwrap(), Policy::k_out_of_n_orgs(2, 2));
+        assert_eq!(
+            parse("2-outof-2 orgs").unwrap(),
+            Policy::k_out_of_n_orgs(2, 2)
+        );
         assert_eq!(parse("2of3").unwrap(), Policy::k_out_of_n_orgs(2, 3));
         assert_eq!(parse("1of1").unwrap(), Policy::k_out_of_n_orgs(1, 1));
         assert_eq!(parse("3of4").unwrap(), Policy::k_out_of_n_orgs(3, 4));
@@ -255,10 +273,9 @@ mod tests {
 
     #[test]
     fn parses_paper_complex_policy() {
-        let p = parse(
-            "(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)",
-        )
-        .unwrap();
+        let p =
+            parse("(Org1 & Org2) | (Org1 & Org4) | (Org2 & Org3) | (Org2 & Org4) | (Org3 & Org4)")
+                .unwrap();
         match &p {
             Policy::Or(subs) => assert_eq!(subs.len(), 5),
             other => panic!("expected Or, got {other:?}"),
@@ -268,7 +285,13 @@ mod tests {
     #[test]
     fn parses_roles() {
         let p = parse("Org1.admin").unwrap();
-        assert_eq!(p, Policy::Signed(Principal { org: 0, role: Role::Admin }));
+        assert_eq!(
+            p,
+            Policy::Signed(Principal {
+                org: 0,
+                role: Role::Admin
+            })
+        );
         let p = parse("Org2.client | Org1").unwrap();
         match p {
             Policy::Or(v) => assert_eq!(v.len(), 2),

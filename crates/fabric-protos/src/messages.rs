@@ -708,7 +708,13 @@ impl KvRead {
         let mut w = ProtoWriter::new();
         w.string(1, &self.key);
         if let Some(v) = &self.version {
-            w.bytes(2, &v.marshal());
+            // A present version must survive the roundtrip even when both
+            // fields are zero, so emit the submessage unconditionally
+            // rather than with skip-if-empty `bytes` semantics.
+            w.message(2, |m| {
+                m.uint64(1, v.block_num);
+                m.uint64(2, v.tx_num);
+            });
         }
         w.into_bytes()
     }
@@ -944,7 +950,9 @@ pub struct BlockMetadata {
 
 impl Default for BlockMetadata {
     fn default() -> Self {
-        BlockMetadata { metadata: vec![Vec::new(); metadata_index::COUNT] }
+        BlockMetadata {
+            metadata: vec![Vec::new(); metadata_index::COUNT],
+        }
     }
 }
 
@@ -1033,7 +1041,10 @@ mod tests {
 
     #[test]
     fn envelope_roundtrip() {
-        let e = Envelope { payload: vec![1, 2, 3], signature: vec![4, 5] };
+        let e = Envelope {
+            payload: vec![1, 2, 3],
+            signature: vec![4, 5],
+        };
         assert_eq!(Envelope::unmarshal(&e.marshal()).unwrap(), e);
     }
 
@@ -1054,12 +1065,29 @@ mod tests {
     fn rwset_roundtrip() {
         let rw = KvRwSet {
             reads: vec![
-                KvRead { key: "acc1".into(), version: Some(Version { block_num: 5, tx_num: 2 }) },
-                KvRead { key: "acc2".into(), version: None },
+                KvRead {
+                    key: "acc1".into(),
+                    version: Some(Version {
+                        block_num: 5,
+                        tx_num: 2,
+                    }),
+                },
+                KvRead {
+                    key: "acc2".into(),
+                    version: None,
+                },
             ],
             writes: vec![
-                KvWrite { key: "acc1".into(), is_delete: false, value: b"100".to_vec() },
-                KvWrite { key: "old".into(), is_delete: true, value: vec![] },
+                KvWrite {
+                    key: "acc1".into(),
+                    is_delete: false,
+                    value: b"100".to_vec(),
+                },
+                KvWrite {
+                    key: "old".into(),
+                    is_delete: true,
+                    value: vec![],
+                },
             ],
         };
         assert_eq!(KvRwSet::unmarshal(&rw.marshal()).unwrap(), rw);
@@ -1073,7 +1101,9 @@ mod tests {
                 previous_hash: vec![9; 32],
                 data_hash: vec![7; 32],
             },
-            data: BlockData { data: vec![vec![1, 2], vec![3, 4, 5]] },
+            data: BlockData {
+                data: vec![vec![1, 2], vec![3, 4, 5]],
+            },
             metadata: BlockMetadata::default(),
         };
         b.metadata.metadata[metadata_index::TRANSACTIONS_FILTER] = vec![0, 1];
@@ -1105,7 +1135,10 @@ mod tests {
     #[test]
     fn nested_transaction_roundtrip() {
         let tx = Transaction {
-            actions: vec![TransactionAction { header: vec![1], payload: vec![2, 3] }],
+            actions: vec![TransactionAction {
+                header: vec![1],
+                payload: vec![2, 3],
+            }],
         };
         assert_eq!(Transaction::unmarshal(&tx.marshal()).unwrap(), tx);
     }
@@ -1116,7 +1149,11 @@ mod tests {
             results: vec![1],
             events: vec![],
             response_status: 200,
-            chaincode_id: ChaincodeId { path: String::new(), name: "smallbank".into(), version: "1.0".into() },
+            chaincode_id: ChaincodeId {
+                path: String::new(),
+                name: "smallbank".into(),
+                version: "1.0".into(),
+            },
         };
         let parsed = ChaincodeAction::unmarshal(&ca.marshal()).unwrap();
         assert_eq!(parsed, ca);

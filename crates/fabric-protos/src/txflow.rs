@@ -63,12 +63,19 @@ pub fn build_transaction(
         reads: params
             .reads
             .iter()
-            .map(|(k, v)| KvRead { key: k.clone(), version: *v })
+            .map(|(k, v)| KvRead {
+                key: k.clone(),
+                version: *v,
+            })
             .collect(),
         writes: params
             .writes
             .iter()
-            .map(|(k, v)| KvWrite { key: k.clone(), is_delete: false, value: v.clone() })
+            .map(|(k, v)| KvWrite {
+                key: k.clone(),
+                is_delete: false,
+                value: v.clone(),
+            })
             .collect(),
     };
     let txrw = TxReadWriteSet {
@@ -120,7 +127,10 @@ pub fn build_transaction(
             endorsements,
         },
     };
-    let sig_header = SignatureHeader { creator: creator.clone(), nonce: params.nonce.clone() };
+    let sig_header = SignatureHeader {
+        creator: creator.clone(),
+        nonce: params.nonce.clone(),
+    };
     let tx = Transaction {
         actions: vec![TransactionAction {
             header: sig_header.marshal(),
@@ -150,7 +160,10 @@ pub fn build_transaction(
         payload: payload_bytes,
         signature: fabric_crypto::der::encode_signature(&client_sig),
     };
-    BuiltTransaction { tx_id, envelope: envelope.marshal() }
+    BuiltTransaction {
+        tx_id,
+        envelope: envelope.marshal(),
+    }
 }
 
 /// Fabric's transaction id: hex of `sha256(nonce ++ creator)`.
@@ -312,7 +325,11 @@ pub fn build_block(
         signature: fabric_crypto::der::encode_signature(&sig),
     };
     metadata.metadata[metadata_index::SIGNATURES] = md_sig.marshal();
-    Block { header, data, metadata }
+    Block {
+        header,
+        data,
+        metadata,
+    }
 }
 
 /// The bytes covered by the orderer's block signature.
@@ -386,8 +403,7 @@ pub fn decode_block_struct(block: &Block, block_len: usize) -> Result<DecodedBlo
         .map_err(|_| WireError::Semantic("bad orderer certificate"))?;
     let orderer_signature = fabric_crypto::der::decode_signature(&md_sig.signature)
         .map_err(|_| WireError::Semantic("bad orderer signature DER"))?;
-    let orderer_signed_message =
-        block_signature_message(&md_sig.signature_header, &block.header);
+    let orderer_signed_message = block_signature_message(&md_sig.signature_header, &block.header);
 
     let mut txs = Vec::with_capacity(block.data.data.len());
     for env in &block.data.data {
@@ -434,7 +450,12 @@ mod tests {
     use super::*;
     use fabric_crypto::identity::{Msp, Role};
 
-    fn test_identities() -> (SigningIdentity, SigningIdentity, SigningIdentity, SigningIdentity) {
+    fn test_identities() -> (
+        SigningIdentity,
+        SigningIdentity,
+        SigningIdentity,
+        SigningIdentity,
+    ) {
         let mut msp = Msp::new(2);
         let client = msp.issue(0, Role::Client, 0).unwrap();
         let e1 = msp.issue(0, Role::Peer, 0).unwrap();
@@ -447,7 +468,13 @@ mod tests {
         TxParams {
             channel_id: "mychannel",
             chaincode: "smallbank",
-            reads: vec![("acc1".into(), Some(Version { block_num: 1, tx_num: 0 }))],
+            reads: vec![(
+                "acc1".into(),
+                Some(Version {
+                    block_num: 1,
+                    tx_num: 0,
+                }),
+            )],
             writes: vec![("acc1".into(), b"950".to_vec())],
             nonce: vec![1, 2, 3, 4, 5, 6, 7, 8],
             timestamp: 1_700_000_000,
@@ -552,7 +579,10 @@ mod tests {
         let (client, e1, _, orderer) = test_identities();
         let env = build_transaction(&client, &[&e1], &sample_params()).envelope;
         let block = build_block(1, &[0u8; 32], vec![env], &orderer);
-        assert_eq!(block.header.data_hash, hash_block_data(&block.data).to_vec());
+        assert_eq!(
+            block.header.data_hash,
+            hash_block_data(&block.data).to_vec()
+        );
     }
 
     #[test]
@@ -603,6 +633,10 @@ mod tests {
             + e1.certificate().to_bytes().len()
             + e2.certificate().to_bytes().len();
         let frac = cert_len as f64 / built.envelope.len() as f64;
-        assert!(frac > 0.7, "certificates are {:.0}% of the envelope", frac * 100.0);
+        assert!(
+            frac > 0.7,
+            "certificates are {:.0}% of the envelope",
+            frac * 100.0
+        );
     }
 }

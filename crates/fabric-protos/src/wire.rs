@@ -90,7 +90,9 @@ impl ProtoWriter {
 
     /// Creates a writer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        ProtoWriter { buf: Vec::with_capacity(cap) }
+        ProtoWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Writes a `uint64`/`uint32`/`enum` field. Zero values are skipped
@@ -222,7 +224,12 @@ impl<'a> ProtoReader<'a> {
             }
         };
         METER.with(|m| m.set(m.get() + 1));
-        Ok(Some(Field { number, wire_type, value, data }))
+        Ok(Some(Field {
+            number,
+            wire_type,
+            value,
+            data,
+        }))
     }
 
     fn read_varint(&mut self) -> Result<u64, WireError> {
@@ -264,7 +271,9 @@ pub struct DecodeMeter {
 impl DecodeMeter {
     /// Starts measuring from the current counter value.
     pub fn start() -> Self {
-        DecodeMeter { start: METER.with(|m| m.get()) }
+        DecodeMeter {
+            start: METER.with(|m| m.get()),
+        }
     }
 
     /// Fields decoded on this thread since [`DecodeMeter::start`].
@@ -308,7 +317,17 @@ mod tests {
 
     #[test]
     fn varint_roundtrip_boundaries() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             put_varint(&mut buf, v);
             assert_eq!(buf.len(), varint_len(v), "len for {v}");

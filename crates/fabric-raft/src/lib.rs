@@ -157,7 +157,11 @@ pub struct RaftConfig {
 
 impl Default for RaftConfig {
     fn default() -> Self {
-        RaftConfig { election_ticks: 10, heartbeat_ticks: 3, max_batch: 64 }
+        RaftConfig {
+            election_ticks: 10,
+            heartbeat_ticks: 3,
+            max_batch: 64,
+        }
     }
 }
 
@@ -253,9 +257,14 @@ impl RaftNode {
     /// [`ProposeError::NotLeader`] with a leader hint when known.
     pub fn propose(&mut self, command: Vec<u8>) -> Result<Vec<Envelope>, ProposeError> {
         if self.state != RaftState::Leader {
-            return Err(ProposeError::NotLeader { hint: self.leader_hint });
+            return Err(ProposeError::NotLeader {
+                hint: self.leader_hint,
+            });
         }
-        self.log.push(LogEntry { term: self.term, command });
+        self.log.push(LogEntry {
+            term: self.term,
+            command,
+        });
         // Single-node clusters commit immediately.
         if self.peers.is_empty() {
             self.commit_index = self.log.len() as LogIndex;
@@ -288,9 +297,12 @@ impl RaftNode {
     /// Handles an incoming message; returns responses to send.
     pub fn step(&mut self, from: NodeId, message: Message) -> Vec<Envelope> {
         match message {
-            Message::RequestVote { term, candidate, last_log_index, last_log_term } => {
-                self.handle_request_vote(from, term, candidate, last_log_index, last_log_term)
-            }
+            Message::RequestVote {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => self.handle_request_vote(from, term, candidate, last_log_index, last_log_term),
             Message::RequestVoteResponse { term, granted } => {
                 self.handle_vote_response(term, granted)
             }
@@ -310,9 +322,11 @@ impl RaftNode {
                 entries,
                 leader_commit,
             ),
-            Message::AppendEntriesResponse { term, success, match_index } => {
-                self.handle_append_response(from, term, success, match_index)
-            }
+            Message::AppendEntriesResponse {
+                term,
+                success,
+                match_index,
+            } => self.handle_append_response(from, term, success, match_index),
         }
     }
 
@@ -440,8 +454,8 @@ impl RaftNode {
         if term > self.term {
             self.become_follower(term, None);
         }
-        let log_ok = (last_log_term, last_log_index)
-            >= (self.last_log_term(), self.log.len() as LogIndex);
+        let log_ok =
+            (last_log_term, last_log_index) >= (self.last_log_term(), self.log.len() as LogIndex);
         let granted = term == self.term
             && log_ok
             && (self.voted_for.is_none() || self.voted_for == Some(candidate));
@@ -452,7 +466,10 @@ impl RaftNode {
         vec![Envelope {
             to: from,
             from: self.id,
-            message: Message::RequestVoteResponse { term: self.term, granted },
+            message: Message::RequestVoteResponse {
+                term: self.term,
+                granted,
+            },
         }]
     }
 
@@ -619,7 +636,12 @@ mod tests {
         let mut n = RaftNode::new(1, vec![2, 3], RaftConfig::default());
         let out = n.step(
             2,
-            Message::RequestVote { term: 1, candidate: 2, last_log_index: 0, last_log_term: 0 },
+            Message::RequestVote {
+                term: 1,
+                candidate: 2,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         assert!(matches!(
             out[0].message,
@@ -628,7 +650,12 @@ mod tests {
         // Competing candidate in the same term is refused.
         let out = n.step(
             3,
-            Message::RequestVote { term: 1, candidate: 3, last_log_index: 0, last_log_term: 0 },
+            Message::RequestVote {
+                term: 1,
+                candidate: 3,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
         );
         assert!(matches!(
             out[0].message,
@@ -679,7 +706,10 @@ mod tests {
                 leader: 2,
                 prev_log_index: 3,
                 prev_log_term: 1,
-                entries: vec![LogEntry { term: 1, command: vec![1] }],
+                entries: vec![LogEntry {
+                    term: 1,
+                    command: vec![1],
+                }],
                 leader_commit: 0,
             },
         );
@@ -700,8 +730,14 @@ mod tests {
                 prev_log_index: 0,
                 prev_log_term: 0,
                 entries: vec![
-                    LogEntry { term: 1, command: vec![1] },
-                    LogEntry { term: 1, command: vec![2] },
+                    LogEntry {
+                        term: 1,
+                        command: vec![1],
+                    },
+                    LogEntry {
+                        term: 1,
+                        command: vec![2],
+                    },
                 ],
                 leader_commit: 0,
             },
@@ -715,7 +751,10 @@ mod tests {
                 leader: 3,
                 prev_log_index: 1,
                 prev_log_term: 1,
-                entries: vec![LogEntry { term: 2, command: vec![9] }],
+                entries: vec![LogEntry {
+                    term: 2,
+                    command: vec![9],
+                }],
                 leader_commit: 2,
             },
         );

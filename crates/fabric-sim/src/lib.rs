@@ -87,7 +87,11 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0, seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
     }
 
     /// Current simulated time (timestamp of the last popped event).
@@ -106,8 +110,16 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is in the past — a causality bug in the model.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "event scheduled in the past ({at} < {})", self.now);
-        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 
@@ -154,7 +166,11 @@ impl ServerPool {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "server pool must have at least one server");
-        ServerPool { free_at: vec![0; n], busy: 0, jobs: 0 }
+        ServerPool {
+            free_at: vec![0; n],
+            busy: 0,
+            jobs: 0,
+        }
     }
 
     /// Schedules a job that becomes ready at `ready` and takes `service`:
@@ -228,7 +244,12 @@ impl NetLink {
     /// Panics if `bits_per_sec` is zero.
     pub fn new(bits_per_sec: u64, latency: SimTime) -> Self {
         assert!(bits_per_sec > 0, "link bandwidth must be positive");
-        NetLink { bits_per_sec, latency, free_at: 0, bytes_sent: 0 }
+        NetLink {
+            bits_per_sec,
+            latency,
+            free_at: 0,
+            bytes_sent: 0,
+        }
     }
 
     /// A 1 Gbps / 100 µs-latency datacenter link (the paper's VM network).

@@ -100,7 +100,9 @@ impl WriteBatch {
 
 impl FromIterator<(String, Option<Vec<u8>>)> for WriteBatch {
     fn from_iter<I: IntoIterator<Item = (String, Option<Vec<u8>>)>>(iter: I) -> Self {
-        WriteBatch { entries: iter.into_iter().collect() }
+        WriteBatch {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -176,7 +178,10 @@ impl StateDb {
                 Some(v) => {
                     g.map.insert(
                         key.to_string(),
-                        VersionedValue { value: v.to_vec(), version: height },
+                        VersionedValue {
+                            value: v.to_vec(),
+                            version: height,
+                        },
                     );
                 }
                 None => {
@@ -316,7 +321,9 @@ impl BoundedStateDb {
             return Err(BoundedDbError::Locked);
         }
         if !self.map.contains_key(key) && self.map.len() + self.locked.len() >= self.capacity {
-            return Err(BoundedDbError::Full { capacity: self.capacity });
+            return Err(BoundedDbError::Full {
+                capacity: self.capacity,
+            });
         }
         self.locked.insert(key.to_string());
         Ok(())
@@ -329,7 +336,10 @@ impl BoundedStateDb {
     /// Panics if the key was not locked — that is a protocol bug in the
     /// caller, not a runtime condition.
     pub fn finish_write(&mut self, key: &str, value: Vec<u8>, version: Height) {
-        assert!(self.locked.remove(key), "finish_write without begin_write: {key}");
+        assert!(
+            self.locked.remove(key),
+            "finish_write without begin_write: {key}"
+        );
         self.stats.writes += 1;
         self.map
             .insert(key.to_string(), VersionedValue { value, version });
@@ -503,7 +513,10 @@ mod tests {
     fn bounded_locked_slots_count_toward_capacity() {
         let mut db = BoundedStateDb::new(1);
         db.begin_write("a").unwrap();
-        assert_eq!(db.begin_write("b"), Err(BoundedDbError::Full { capacity: 1 }));
+        assert_eq!(
+            db.begin_write("b"),
+            Err(BoundedDbError::Full { capacity: 1 })
+        );
         db.finish_write("a", vec![1], Height::new(1, 0));
     }
 
@@ -515,12 +528,9 @@ mod tests {
 
     #[test]
     fn write_batch_from_iterator() {
-        let batch: WriteBatch = vec![
-            ("a".to_string(), Some(vec![1])),
-            ("b".to_string(), None),
-        ]
-        .into_iter()
-        .collect();
+        let batch: WriteBatch = vec![("a".to_string(), Some(vec![1])), ("b".to_string(), None)]
+            .into_iter()
+            .collect();
         assert_eq!(batch.len(), 2);
     }
 }

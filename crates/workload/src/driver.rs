@@ -249,8 +249,7 @@ pub fn measure_profile(blocks: &[Block]) -> BlockProfile {
     let mut reads = 0usize;
     let mut writes = 0usize;
     for block in blocks {
-        let decoded =
-            fabric_protos::txflow::decode_block(&block.marshal()).expect("blocks decode");
+        let decoded = fabric_protos::txflow::decode_block(&block.marshal()).expect("blocks decode");
         for tx in &decoded.txs {
             txs += 1;
             bytes += tx.envelope_len;
@@ -351,6 +350,10 @@ mod tests {
         let blocks = driver.generate_blocks(&mut net, 2).unwrap();
         let profile = measure_profile(&blocks);
         assert!(profile.reads_per_tx >= 4, "reads {}", profile.reads_per_tx);
-        assert!(profile.writes_per_tx >= 4, "writes {}", profile.writes_per_tx);
+        assert!(
+            profile.writes_per_tx >= 4,
+            "writes {}",
+            profile.writes_per_tx
+        );
     }
 }

@@ -30,11 +30,7 @@ impl Smallbank {
         Smallbank
     }
 
-    fn read(
-        db: &StateDb,
-        key: &str,
-        result: &mut SimulationResult,
-    ) -> u64 {
+    fn read(db: &StateDb, key: &str, result: &mut SimulationResult) -> u64 {
         let val = db.get(key);
         let balance = parse_balance(val.as_ref().map(|v| v.value.as_slice()));
         result.reads.push((key.to_string(), val.map(|v| v.version)));
@@ -120,7 +116,11 @@ impl Chaincode for Smallbank {
                 };
                 let amount = parse_amount(amount)?;
                 let bal = Self::read(db, &checking_key(customer), &mut result);
-                Self::write(checking_key(customer), bal.saturating_sub(amount), &mut result);
+                Self::write(
+                    checking_key(customer),
+                    bal.saturating_sub(amount),
+                    &mut result,
+                );
             }
             // amalgamate(src, dst): move all of src's savings+checking
             // into dst's checking.
@@ -193,7 +193,11 @@ mod tests {
     fn create_account_writes_two_keys_reads_none() {
         let db = StateDb::new();
         let r = Smallbank::new()
-            .execute("create_account", &["carol".into(), "10".into(), "20".into()], &db)
+            .execute(
+                "create_account",
+                &["carol".into(), "10".into(), "20".into()],
+                &db,
+            )
             .unwrap();
         assert_eq!(r.reads.len(), 0);
         assert_eq!(r.writes.len(), 2);
@@ -203,7 +207,11 @@ mod tests {
     fn send_payment_is_2r2w() {
         let db = seeded_db();
         let r = Smallbank::new()
-            .execute("send_payment", &["alice".into(), "bob".into(), "100".into()], &db)
+            .execute(
+                "send_payment",
+                &["alice".into(), "bob".into(), "100".into()],
+                &db,
+            )
             .unwrap();
         assert_eq!(r.reads.len(), 2);
         assert_eq!(r.writes.len(), 2);
@@ -215,7 +223,11 @@ mod tests {
     fn send_payment_insufficient_aborts() {
         let db = seeded_db();
         let err = Smallbank::new()
-            .execute("send_payment", &["bob".into(), "alice".into(), "9999".into()], &db)
+            .execute(
+                "send_payment",
+                &["bob".into(), "alice".into(), "9999".into()],
+                &db,
+            )
             .unwrap_err();
         assert!(matches!(err, ChaincodeError::Aborted(_)));
     }

@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // sw_validator peer (pre-upgrade) and BMac peer (upgraded).
     let policies: HashMap<String, fabric_policy::Policy> =
-        [("kv".to_string(), parse("2-outof-2 orgs")?)].into_iter().collect();
+        [("kv".to_string(), parse("2-outof-2 orgs")?)]
+            .into_iter()
+            .collect();
     let sw_peer = ValidatorPipeline::new(make_msp(), policies, 8);
     let config = BmacConfig::from_yaml(
         "network:\n  orgs: 2\nchaincodes:\n  - name: kv\n    policy: 2-outof-2 orgs\n",

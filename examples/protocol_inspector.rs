@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut sender = BmacSender::new();
     let packets = sender.send_block(&block)?;
-    println!("block {} | {} txs | {} bytes marshaled", block.header.number, block.data.data.len(), raw);
+    println!(
+        "block {} | {} txs | {} bytes marshaled",
+        block.header.number,
+        block.data.data.len(),
+        raw
+    );
     println!("{} packets:", packets.len());
     for p in &packets {
         let pointers = p
@@ -53,9 +58,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     let stats = sender.stats();
-    println!("\nidentity bytes removed: {} ({:.0}% of the block)", stats.identity_bytes_removed, stats.identity_share() * 100.0);
+    println!(
+        "\nidentity bytes removed: {} ({:.0}% of the block)",
+        stats.identity_bytes_removed,
+        stats.identity_share() * 100.0
+    );
     println!("BMac wire bytes: {}", stats.bmac_wire_bytes);
-    println!("Gossip wire bytes for the same block: {}", gossip_wire_bytes(raw));
+    println!(
+        "Gossip wire bytes for the same block: {}",
+        gossip_wire_bytes(raw)
+    );
     println!("bandwidth savings: {:.0}%", stats.savings() * 100.0);
     Ok(())
 }

@@ -24,9 +24,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Clients submit transactions; the orderer cuts a block.
     net.submit_invocation(0, "kv", "put", &["hello".into(), "world".into()])?;
-    let blocks = net.submit_invocation(0, "kv", "transfer", &["a".into(), "b".into(), "0".into()])?;
+    let blocks =
+        net.submit_invocation(0, "kv", "transfer", &["a".into(), "b".into(), "0".into()])?;
     let block = &blocks[0];
-    println!("orderer cut block {} with {} transactions", block.header.number, block.data.data.len());
+    println!(
+        "orderer cut block {} with {} transactions",
+        block.header.number,
+        block.data.data.len()
+    );
 
     // 3. A BMac peer configured from the YAML file of paper §3.5.
     let config = BmacConfig::from_yaml(
@@ -58,10 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         record.block_valid,
         record.valid_count(),
         record.flags.len(),
-        record.hw_stats.map(|s| s.latency() as f64 / 1e6).unwrap_or(0.0),
+        record
+            .hw_stats
+            .map(|s| s.latency() as f64 / 1e6)
+            .unwrap_or(0.0),
     );
-    println!("peer state: hello = {:?}",
-        String::from_utf8_lossy(&peer.state_db().get("hello").expect("committed").value));
+    println!(
+        "peer state: hello = {:?}",
+        String::from_utf8_lossy(&peer.state_db().get("hello").expect("committed").value)
+    );
     println!("ledger height: {}", peer.ledger().height());
     Ok(())
 }

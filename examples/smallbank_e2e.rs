@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     msp.issue(0, Role::Orderer, 0)?;
     msp.issue(0, Role::Client, 0)?;
     let policies: HashMap<String, fabric_policy::Policy> =
-        [("smallbank".to_string(), parse("2-outof-2 orgs")?)].into_iter().collect();
+        [("smallbank".to_string(), parse("2-outof-2 orgs")?)]
+            .into_iter()
+            .collect();
     let sw = ValidatorPipeline::new(msp, policies, 8);
 
     let mut msp2 = Msp::new(2);
@@ -84,7 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut paper_scale = profile;
     paper_scale.num_txs = 250;
-    let sw_tps = SwValidatorModel::new(16).validate_block(&paper_scale).throughput_tps(250);
+    let sw_tps = SwValidatorModel::new(16)
+        .validate_block(&paper_scale)
+        .throughput_tps(250);
     let hw_cfg = bmac_hw::HwModelConfig::new(bmac_hw::Geometry::new(16, 2));
     let hw_tps = bmac_hw::validate_block(&hw_cfg, &bmac_hw::HwWorkload::smallbank(250))
         .throughput_tps(250, &hw_cfg);

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_validation.json (validation hot-path before/after
+# numbers) at the repo root. Run from anywhere inside the repo.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo run --release --bin bench_validation
+echo
+echo "BENCH_validation.json:"
+cat BENCH_validation.json

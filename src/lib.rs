@@ -1,0 +1,27 @@
+//! Workspace façade for the Blockchain Machine reproduction.
+//!
+//! This crate exists to host the runnable `examples/` and to re-export
+//! the workspace's main entry points under one name. The real code lives
+//! in the `crates/` members:
+//!
+//! * [`fabric_crypto`] — ECDSA P-256 / SHA-256 substrate with the
+//!   precomputed fixed-base, wNAF, and batch-inversion fast paths;
+//! * [`fabric_peer`] — software validator pipeline (parallel vscc,
+//!   signature cache) and calibrated performance model;
+//! * [`bmac_core`] / `bmac_hw` / `bmac_protocol` — the hardware
+//!   Blockchain Machine simulation and its network protocol;
+//! * `fabric_node`, `fabric_policy`, `fabric_protos`, `fabric_statedb`,
+//!   `fabric_ledger`, `fabric_raft`, `fabric_sim`, `workload` —
+//!   supporting network, policy, wire-format, state, and workload crates.
+
+pub use bmac_core;
+pub use bmac_hw;
+pub use bmac_protocol;
+pub use fabric_crypto;
+pub use fabric_node;
+pub use fabric_peer;
+pub use fabric_policy;
+pub use fabric_protos;
+pub use fabric_raft;
+pub use fabric_sim;
+pub use workload;

@@ -52,14 +52,20 @@ fn validate_both(
     bmac: &mut BMacPeer,
     sender: &mut BmacSender,
     block: &Block,
-) -> (Vec<fabric_ledger::TxValidationCode>, Vec<fabric_ledger::TxValidationCode>) {
+) -> (
+    Vec<fabric_ledger::TxValidationCode>,
+    Vec<fabric_ledger::TxValidationCode>,
+) {
     let sw_result = sw.validate_and_commit(block).unwrap();
     let mut hw_records = Vec::new();
     for p in sender.send_block(block).unwrap() {
         hw_records.extend(bmac.ingest_wire(&p.encode().unwrap(), 0).unwrap());
     }
     assert_eq!(hw_records.len(), 1, "one committed block per sent block");
-    assert_eq!(sw_result.commit_hash, hw_records[0].commit_hash, "commit hashes agree");
+    assert_eq!(
+        sw_result.commit_hash, hw_records[0].commit_hash,
+        "commit hashes agree"
+    );
     (sw_result.codes, hw_records[0].flags.clone())
 }
 
@@ -91,8 +97,13 @@ fn driven_workload_produces_identical_results() {
 fn forged_client_signature_rejected_by_both() {
     let mut net = smallbank_net(2);
     let (sw, mut bmac, mut sender) = make_peers();
-    net.submit_invocation(0, "smallbank", "create_account", &["a".into(), "1".into(), "1".into()])
-        .unwrap();
+    net.submit_invocation(
+        0,
+        "smallbank",
+        "create_account",
+        &["a".into(), "1".into(), "1".into()],
+    )
+    .unwrap();
     let mut block = net
         .submit_invocation(
             0,
@@ -131,16 +142,29 @@ fn mvcc_conflicts_agree_between_peers() {
     let (sw, mut bmac, mut sender) = make_peers();
     // Two deposits to the same fresh account in one block: both endorsed
     // against version None; the second must MVCC-conflict on both peers.
-    net.submit_invocation(0, "smallbank", "deposit_checking", &["x".into(), "5".into()])
-        .unwrap();
+    net.submit_invocation(
+        0,
+        "smallbank",
+        "deposit_checking",
+        &["x".into(), "5".into()],
+    )
+    .unwrap();
     let block = net
-        .submit_invocation(0, "smallbank", "deposit_checking", &["x".into(), "7".into()])
+        .submit_invocation(
+            0,
+            "smallbank",
+            "deposit_checking",
+            &["x".into(), "7".into()],
+        )
         .unwrap()
         .remove(0);
     let (sw_codes, hw_flags) = validate_both(&sw, &mut bmac, &mut sender, &block);
     assert_eq!(sw_codes, hw_flags);
     assert!(sw_codes[0].is_valid());
-    assert_eq!(sw_codes[1], fabric_ledger::TxValidationCode::MvccReadConflict);
+    assert_eq!(
+        sw_codes[1],
+        fabric_ledger::TxValidationCode::MvccReadConflict
+    );
 }
 
 #[test]
@@ -154,7 +178,10 @@ fn ledgers_chain_identically_across_many_blocks() {
         validate_both(&sw, &mut bmac, &mut sender, block);
     }
     assert_eq!(sw.ledger().height(), bmac.ledger().height());
-    assert_eq!(sw.ledger().tip_commit_hash(), bmac.ledger().tip_commit_hash());
+    assert_eq!(
+        sw.ledger().tip_commit_hash(),
+        bmac.ledger().tip_commit_hash()
+    );
     assert!(sw.ledger().verify_chain().is_ok());
     assert!(bmac.ledger().verify_chain().is_ok());
 }

@@ -31,8 +31,7 @@ fn policy_update_without_restart_changes_decisions() {
         [("kv".to_string(), parse("2-outof-2 orgs").unwrap())]
             .into_iter()
             .collect();
-    let mut machine =
-        BMacMachine::new(ProcessorConfig::new(Geometry::new(4, 2), 2), &policies);
+    let mut machine = BMacMachine::new(ProcessorConfig::new(Geometry::new(4, 2), 2), &policies);
     let mut sender = BmacSender::new();
 
     let block = net
@@ -59,7 +58,11 @@ fn policy_update_without_restart_changes_decisions() {
         machine.ingest_wire(&p.encode().unwrap(), 0).unwrap();
     }
     let r2 = machine.get_block_data().unwrap();
-    assert_eq!(r2.valid_count(), 0, "admin-only policy rejects peer endorsements");
+    assert_eq!(
+        r2.valid_count(),
+        0,
+        "admin-only policy rejects peer endorsements"
+    );
     // The identity cache survived: no re-sync was needed (block2's
     // packets contained no IdentitySync for already-known nodes).
 }
@@ -72,8 +75,10 @@ fn go_back_n_carries_real_blocks_over_lossy_link() {
     let mut gbn_tx = GoBackNSender::new(4);
     let mut gbn_rx = GoBackNReceiver::new();
 
-    net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()]).unwrap();
-    net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()]).unwrap();
+    net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+        .unwrap();
+    net.submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
+        .unwrap();
     let block = net
         .submit_invocation(0, "kv", "put", &["c".into(), "3".into()])
         .unwrap()
@@ -106,6 +111,9 @@ fn go_back_n_carries_real_blocks_over_lossy_link() {
         }
     }
     assert_eq!(completed, 1, "block reassembles despite losses");
-    assert!(gbn_tx.retransmissions() > 0, "losses actually triggered GBN");
+    assert!(
+        gbn_tx.retransmissions() > 0,
+        "losses actually triggered GBN"
+    );
     assert!(breceiver.incomplete_blocks().is_empty());
 }

@@ -1,7 +1,6 @@
 //! Ordering-service integration (multi-orderer Raft) and in-hardware
 //! database capacity limits.
 
-
 use bmac_core::{BMacPeer, BmacConfig};
 use bmac_protocol::BmacSender;
 use fabric_crypto::identity::{Msp, Role};
@@ -20,7 +19,8 @@ fn multi_orderer_network_produces_valid_blocks() {
         .chaincode("kv", parse("2-outof-2 orgs").unwrap())
         .build();
     net.install_chaincode(|| Box::new(KvChaincode::new("kv")));
-    net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()]).unwrap();
+    net.submit_invocation(0, "kv", "put", &["a".into(), "1".into()])
+        .unwrap();
     let blocks = net
         .submit_invocation(0, "kv", "put", &["b".into(), "2".into()])
         .unwrap();
@@ -101,16 +101,22 @@ fn hw_database_capacity_limit_is_surfaced() {
             break;
         }
     }
-    assert!(saw_full, "3rd distinct key must overflow a 2-entry database");
+    assert!(
+        saw_full,
+        "3rd distinct key must overflow a 2-entry database"
+    );
 }
 
 #[test]
 fn config_roundtrip_drives_architecture() {
-    let config = BmacConfig::from_yaml(
-        "architecture:\n  tx_validators: 5\n  engines_per_vscc: 3\n",
-    )
-    .unwrap();
+    let config =
+        BmacConfig::from_yaml("architecture:\n  tx_validators: 5\n  engines_per_vscc: 3\n")
+            .unwrap();
     assert_eq!(config.geometry().to_string(), "5x3");
     let util = bmac_hw::utilization(config.geometry());
-    assert!((util.lut_pct - 25.4).abs() < 1.0, "5x3 LUT {}", util.lut_pct);
+    assert!(
+        (util.lut_pct - 25.4).abs() < 1.0,
+        "5x3 LUT {}",
+        util.lut_pct
+    );
 }

@@ -121,9 +121,7 @@ fn loss_rate_sweep_detects_all_incomplete_blocks() {
         for p in sender.send_block(block).unwrap() {
             // Drop 20% of section packets (never syncs, which a real
             // deployment would pre-install from the config file).
-            if p.section != SectionType::IdentitySync
-                && rand::Rng::gen_bool(&mut rng, 0.2)
-            {
+            if p.section != SectionType::IdentitySync && rand::Rng::gen_bool(&mut rng, 0.2) {
                 continue;
             }
             for b in receiver.ingest(&p.encode().unwrap()).unwrap() {
@@ -139,5 +137,8 @@ fn loss_rate_sweep_detects_all_incomplete_blocks() {
             "block {n} lost without detection"
         );
     }
-    assert!(!incomplete.is_empty(), "20% loss certainly broke some block");
+    assert!(
+        !incomplete.is_empty(),
+        "20% loss certainly broke some block"
+    );
 }
