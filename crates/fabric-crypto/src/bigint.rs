@@ -13,6 +13,100 @@
 use std::cmp::Ordering;
 use std::fmt;
 
+/// Adds `a + b + carry_in`, returning the low 64 bits and the carry-out.
+///
+/// The building block of every carry chain in this crate (generic
+/// Montgomery arithmetic in [`crate::mont`] and the Solinas-form P-256
+/// field in [`crate::fp256`] share it). `carry_in` may be any `u64`; the
+/// carry-out is at most `1` when `carry_in <= 1`.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry_in: u64) -> (u64, u64) {
+    let t = a as u128 + b as u128 + carry_in as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Subtracts `a - b - borrow_in` (with `borrow_in` in `{0, 1}`),
+/// returning the low 64 bits and the borrow-out (`0` or `1`).
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow_in: u64) -> (u64, u64) {
+    let t = (a as u128).wrapping_sub(b as u128 + borrow_in as u128);
+    (t as u64, ((t >> 64) as u64) & 1)
+}
+
+/// Multiply-accumulate: `acc + a·b + carry_in`, returning the low 64
+/// bits and the high 64 bits. Never overflows: the result of
+/// `2^64-1 + (2^64-1)² + 2^64-1` still fits in 128 bits.
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry_in: u64) -> (u64, u64) {
+    let t = acc as u128 + (a as u128) * (b as u128) + carry_in as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// Modular inverse of `a` for an **odd** modulus `m`, via the binary
+/// extended Euclidean algorithm (shift/add only — no division, no
+/// exponentiation). `a` is reduced modulo `m` first; returns `None`
+/// when `a ≡ 0` or `gcd(a, m) ≠ 1`.
+///
+/// This is the plain-integer inverse shared by the scalar field
+/// ([`crate::mont::MontgomeryDomain::inv`]) and the Solinas-form base
+/// field ([`crate::fp256::Fp256::inv`]).
+///
+/// # Panics
+///
+/// Debug-asserts that `m` is odd (the halving step requires it).
+pub fn inv_mod_odd(a: &U256, m: &U256) -> Option<U256> {
+    debug_assert!(m.is_odd(), "inv_mod_odd requires an odd modulus");
+    let a = a.rem(m);
+    if a.is_zero() {
+        return None;
+    }
+    let mut u = a;
+    let mut v = *m;
+    let mut x1 = U256::ONE;
+    let mut x2 = U256::ZERO;
+    while !u.is_zero() && u != U256::ONE && v != U256::ONE {
+        while !u.is_odd() {
+            u = u.shr_small(1);
+            x1 = half_mod(&x1, m);
+        }
+        while !v.is_odd() {
+            v = v.shr_small(1);
+            x2 = half_mod(&x2, m);
+        }
+        if u >= v {
+            u = u.wrapping_sub(&v);
+            x1 = x1.sub_mod(&x2, m);
+        } else {
+            v = v.wrapping_sub(&u);
+            x2 = x2.sub_mod(&x1, m);
+        }
+    }
+    if u == U256::ONE {
+        Some(x1)
+    } else if v == U256::ONE {
+        Some(x2)
+    } else {
+        // gcd(a, m) != 1: not invertible.
+        None
+    }
+}
+
+/// Halves `x` modulo an odd `m`: `x/2` when even, `(x+m)/2` otherwise
+/// (tracking the possible 257th carry bit of the addition).
+fn half_mod(x: &U256, m: &U256) -> U256 {
+    debug_assert!(x < m);
+    if !x.is_odd() {
+        x.shr_small(1)
+    } else {
+        let (sum, carry) = x.overflowing_add(m);
+        let mut half = sum.shr_small(1);
+        if carry {
+            half.0[3] |= 1 << 63;
+        }
+        half
+    }
+}
+
 /// A 256-bit unsigned integer stored as four little-endian `u64` limbs.
 ///
 /// ```
@@ -137,14 +231,11 @@ impl U256 {
     #[allow(clippy::needless_range_loop)] // lock-step carry propagation
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
-        let mut carry = false;
+        let mut carry = 0u64;
         for i in 0..4 {
-            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
-            let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
-            carry = c1 | c2;
+            (out[i], carry) = adc(self.0[i], rhs.0[i], carry);
         }
-        (U256(out), carry)
+        (U256(out), carry != 0)
     }
 
     /// Wrapping (mod `2^256`) addition.
@@ -156,14 +247,11 @@ impl U256 {
     #[allow(clippy::needless_range_loop)] // lock-step carry propagation
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
-        let mut borrow = false;
+        let mut borrow = 0u64;
         for i in 0..4 {
-            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
-            let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
-            borrow = b1 | b2;
+            (out[i], borrow) = sbb(self.0[i], rhs.0[i], borrow);
         }
-        (U256(out), borrow)
+        (U256(out), borrow != 0)
     }
 
     /// Wrapping (mod `2^256`) subtraction.
@@ -175,13 +263,11 @@ impl U256 {
     pub fn widening_mul(&self, rhs: &U256) -> U512 {
         let mut out = [0u64; 8];
         for i in 0..4 {
-            let mut carry = 0u128;
+            let mut carry = 0u64;
             for j in 0..4 {
-                let cur = out[i + j] as u128 + (self.0[i] as u128) * (rhs.0[j] as u128) + carry;
-                out[i + j] = cur as u64;
-                carry = cur >> 64;
+                (out[i + j], carry) = mac(out[i + j], self.0[i], rhs.0[j], carry);
             }
-            out[i + 4] = carry as u64;
+            out[i + 4] = carry;
         }
         U512(out)
     }
@@ -560,6 +646,34 @@ mod tests {
         let b = U256::from_u64(600);
         assert_eq!(a.add_mod(&b, &m), U256::from_u64(300));
         assert_eq!(b.sub_mod(&a, &m), U256::from_u64(900));
+    }
+
+    #[test]
+    fn carry_chain_helpers() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        // mac at the extreme: acc + a*b + carry fits in 128 bits.
+        let (lo, hi) = mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX);
+        let expect = u64::MAX as u128 + (u64::MAX as u128) * (u64::MAX as u128) + u64::MAX as u128;
+        assert_eq!(lo, expect as u64);
+        assert_eq!(hi, (expect >> 64) as u64);
+    }
+
+    #[test]
+    fn inv_mod_odd_small_cases() {
+        let m = U256::from_u64(97);
+        for a in 1u64..97 {
+            let inv = inv_mod_odd(&U256::from_u64(a), &m).unwrap();
+            let prod = U256::from_u64(a).widening_mul(&inv).rem(&m);
+            assert_eq!(prod, U256::ONE, "a={a}");
+        }
+        assert_eq!(inv_mod_odd(&U256::ZERO, &m), None);
+        // Composite modulus: shared factors are not invertible.
+        let m = U256::from_u64(105);
+        assert_eq!(inv_mod_odd(&U256::from_u64(21), &m), None);
+        assert!(inv_mod_odd(&U256::from_u64(11), &m).is_some());
     }
 
     #[test]

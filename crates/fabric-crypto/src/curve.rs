@@ -4,7 +4,9 @@
 //! (paper §2.1.1), so the whole validation pipeline — client signatures,
 //! endorsements, orderer block signatures — runs on the arithmetic in this
 //! module. Points are manipulated in Jacobian coordinates over the
-//! Montgomery-domain field implementation from [`crate::mont`].
+//! backend-selectable base field from [`crate::field`] (Solinas fast
+//! reduction by default, generic Montgomery as the differential oracle);
+//! scalar arithmetic modulo the group order stays on [`crate::mont`].
 //!
 //! The implementation favours clarity and auditability over side-channel
 //! hardening: this library signs only synthetic benchmark identities.
@@ -13,28 +15,35 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use crate::bigint::U256;
+use crate::field::{default_field_backend, FieldDomain};
 use crate::mont::MontgomeryDomain;
 
-/// Curve parameters and shared Montgomery domains for `p` and `n`.
+/// Curve parameters: the backend-selectable base-field domain for `p`
+/// and the Montgomery scalar domain for `n`.
 #[derive(Debug)]
 pub struct CurveParams {
-    /// Field domain (modulo the prime `p`).
-    pub fp: MontgomeryDomain,
+    /// Field domain (modulo the prime `p`). Coordinates stored in
+    /// points are *representation residues* of this domain.
+    pub fp: FieldDomain,
     /// Scalar domain (modulo the group order `n`).
     pub fn_: MontgomeryDomain,
-    /// Curve coefficient `a = -3` in Montgomery form.
+    /// Curve coefficient `a = -3` (field representation).
     pub a: U256,
-    /// Curve coefficient `b` in Montgomery form.
+    /// Curve coefficient `b` (field representation).
     pub b: U256,
-    /// Base point in affine coordinates (Montgomery form).
+    /// Base point x in affine coordinates (field representation).
     pub gx: U256,
-    /// Base point y (Montgomery form).
+    /// Base point y (field representation).
     pub gy: U256,
     /// Group order `n` as a plain integer.
     pub order: U256,
 }
 
 /// Returns the process-wide P-256 parameter set.
+///
+/// The base-field backend is resolved once here, on first use (see
+/// [`crate::field::default_field_backend`]); every process-wide table
+/// is built in that backend's representation.
 pub fn p256() -> &'static CurveParams {
     static PARAMS: OnceLock<CurveParams> = OnceLock::new();
     PARAMS.get_or_init(|| {
@@ -48,13 +57,14 @@ pub fn p256() -> &'static CurveParams {
             .expect("p-256 gx literal");
         let gy = U256::from_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5")
             .expect("p-256 gy literal");
-        let fp = MontgomeryDomain::new(p);
+        let fp = FieldDomain::p256(default_field_backend());
+        assert_eq!(fp.modulus(), &p, "field backend must use the P-256 prime");
         let fn_ = MontgomeryDomain::new(n);
-        let three = fp.to_mont(&U256::from_u64(3));
+        let three = fp.to_repr(&U256::from_u64(3));
         let a = fp.neg(&three);
-        let b = fp.to_mont(&b);
-        let gx = fp.to_mont(&gx);
-        let gy = fp.to_mont(&gy);
+        let b = fp.to_repr(&b);
+        let gx = fp.to_repr(&gx);
+        let gy = fp.to_repr(&gy);
         CurveParams {
             fp,
             fn_,
@@ -69,14 +79,14 @@ pub fn p256() -> &'static CurveParams {
 
 /// A point on P-256 in affine coordinates, or the identity.
 ///
-/// Coordinates are stored in Montgomery form; use
+/// Coordinates are stored in the field-domain representation; use
 /// [`AffinePoint::x_bytes`]/[`AffinePoint::to_sec1_bytes`] for wire
 /// representations.
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub struct AffinePoint {
-    /// x coordinate (Montgomery form). Meaningless when `infinity`.
+    /// x coordinate (field representation). Meaningless when `infinity`.
     pub x: U256,
-    /// y coordinate (Montgomery form). Meaningless when `infinity`.
+    /// y coordinate (field representation). Meaningless when `infinity`.
     pub y: U256,
     /// Marker for the group identity.
     pub infinity: bool,
@@ -124,8 +134,8 @@ impl AffinePoint {
         if x >= c.fp.modulus() || y >= c.fp.modulus() {
             return Err(PointError::OutOfRange);
         }
-        let xm = c.fp.to_mont(x);
-        let ym = c.fp.to_mont(y);
+        let xm = c.fp.to_repr(x);
+        let ym = c.fp.to_repr(y);
         let pt = AffinePoint {
             x: xm,
             y: ym,
@@ -153,12 +163,12 @@ impl AffinePoint {
 
     /// The x coordinate as a plain 32-byte big-endian integer.
     pub fn x_bytes(&self) -> [u8; 32] {
-        p256().fp.from_mont(&self.x).to_be_bytes()
+        p256().fp.from_repr(&self.x).to_be_bytes()
     }
 
     /// The y coordinate as a plain 32-byte big-endian integer.
     pub fn y_bytes(&self) -> [u8; 32] {
-        p256().fp.from_mont(&self.y).to_be_bytes()
+        p256().fp.from_repr(&self.y).to_be_bytes()
     }
 
     /// Serializes in uncompressed SEC1 form (`04 || X || Y`, 65 bytes).
@@ -217,8 +227,8 @@ impl fmt::Debug for AffinePoint {
             write!(
                 f,
                 "AffinePoint(x=0x{}, y=0x{})",
-                p256().fp.from_mont(&self.x).to_hex(),
-                p256().fp.from_mont(&self.y).to_hex()
+                p256().fp.from_repr(&self.x).to_hex(),
+                p256().fp.from_repr(&self.y).to_hex()
             )
         }
     }
@@ -483,7 +493,7 @@ impl JacobianPoint {
             if &candidate >= f.modulus() {
                 return false;
             }
-            if f.mul(&f.to_mont(&candidate), &zz) == self.x {
+            if f.mul(&f.to_repr(&candidate), &zz) == self.x {
                 return true;
             }
             let (next, carry) = candidate.overflowing_add(&c.order);

@@ -235,7 +235,7 @@ impl SigningKey {
                 continue;
             }
             let point = mul_fixed_base(&k).to_affine();
-            let r = c.fp.from_mont(&point.x).reduce_once(n);
+            let r = c.fp.from_repr(&point.x).reduce_once(n);
             if r.is_zero() {
                 continue;
             }
@@ -428,7 +428,7 @@ impl VerifyingKey {
         if rp.is_identity() {
             return Err(EcdsaError::InvalidSignature);
         }
-        let x = c.fp.from_mont(&rp.to_affine().x).rem(n);
+        let x = c.fp.from_repr(&rp.to_affine().x).rem(n);
         if x == sig.r {
             Ok(())
         } else {

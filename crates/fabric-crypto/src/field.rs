@@ -1,0 +1,266 @@
+//! Backend-selectable P-256 base-field arithmetic.
+//!
+//! The curve layer ([`crate::curve`], [`crate::ecdsa`]) does all of its
+//! coordinate arithmetic through [`FieldDomain`], which dispatches to
+//! one of two interchangeable implementations:
+//!
+//! * **Solinas** ([`crate::fp256`]) — the default: NIST fast reduction
+//!   specialized to the P-256 prime, operating on canonical residues
+//!   (entering/leaving the representation is free);
+//! * **Montgomery** ([`crate::mont`]) — the generic REDC arithmetic the
+//!   seed shipped with, operating on Montgomery residues. Kept fully
+//!   compiled and selectable so it serves as the *oracle* for the
+//!   differential test harness and as the A/B baseline in
+//!   `BENCH_validation.json`.
+//!
+//! # Selecting a backend
+//!
+//! The active backend is chosen once, when [`crate::curve::p256`] first
+//! initializes (the process-wide tables are built in that backend's
+//! representation, so it cannot change mid-process):
+//!
+//! 1. the `FABRIC_FIELD_BACKEND` environment variable
+//!    (`solinas` | `montgomery`) decides at startup — this is how the
+//!    CI matrix and the benchmark's A/B re-exec drive both backends;
+//! 2. otherwise the `montgomery-field-default` cargo feature makes
+//!    Montgomery the fallback for builds that want the oracle without
+//!    touching the environment;
+//! 3. otherwise Solinas.
+//!
+//! Values handled by a [`FieldDomain`] are *representation residues*:
+//! canonical integers under Solinas, Montgomery residues under
+//! Montgomery. Convert at the boundary with
+//! [`to_repr`](FieldDomain::to_repr) / [`from_repr`](FieldDomain::from_repr)
+//! and never mix residues produced by different domains. All byte-level
+//! encodings (SEC1 points, signature cache keys, DER) go through
+//! `from_repr` first and are therefore backend-independent.
+
+use std::fmt;
+
+use crate::bigint::U256;
+use crate::fp256::Fp256;
+use crate::mont::MontgomeryDomain;
+
+/// Which base-field implementation a [`FieldDomain`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldBackend {
+    /// Solinas (NIST fast-reduction) arithmetic on canonical residues.
+    Solinas,
+    /// Generic Montgomery (REDC) arithmetic on Montgomery residues.
+    Montgomery,
+}
+
+impl FieldBackend {
+    /// Stable lowercase name, as used by `FABRIC_FIELD_BACKEND` and the
+    /// benchmark JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldBackend::Solinas => "solinas",
+            FieldBackend::Montgomery => "montgomery",
+        }
+    }
+}
+
+impl fmt::Display for FieldBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resolves the backend the process should default to (see the module
+/// docs for precedence). An explicit `FABRIC_FIELD_BACKEND` always
+/// wins — the benchmark's A/B re-exec relies on the env var flipping
+/// the child's backend regardless of how the binary was built — and
+/// the `montgomery-field-default` feature only changes the fallback
+/// when the env var is unset.
+///
+/// # Panics
+///
+/// Panics when `FABRIC_FIELD_BACKEND` is set to an unknown value —
+/// silently falling back would make an A/B run measure the wrong thing.
+pub fn default_field_backend() -> FieldBackend {
+    match std::env::var("FABRIC_FIELD_BACKEND") {
+        Ok(v) if v.eq_ignore_ascii_case("solinas") => FieldBackend::Solinas,
+        Ok(v) if v.eq_ignore_ascii_case("montgomery") => FieldBackend::Montgomery,
+        Ok(other) => {
+            panic!("FABRIC_FIELD_BACKEND must be \"solinas\" or \"montgomery\", got {other:?}")
+        }
+        Err(_) if cfg!(feature = "montgomery-field-default") => FieldBackend::Montgomery,
+        Err(_) => FieldBackend::Solinas,
+    }
+}
+
+/// P-256 base-field arithmetic behind a backend switch.
+///
+/// The API mirrors [`MontgomeryDomain`] except that the representation
+/// conversions are named `to_repr`/`from_repr`: they are REDC
+/// conversions under the Montgomery backend and (checked) no-ops under
+/// Solinas.
+#[derive(Debug, Clone)]
+pub enum FieldDomain {
+    /// Solinas fast-reduction arithmetic (canonical residues).
+    Solinas(Fp256),
+    /// Montgomery REDC arithmetic (Montgomery residues).
+    Montgomery(MontgomeryDomain),
+}
+
+impl FieldDomain {
+    /// Builds the P-256 base field on the given backend.
+    pub fn p256(backend: FieldBackend) -> Self {
+        match backend {
+            FieldBackend::Solinas => FieldDomain::Solinas(Fp256),
+            FieldBackend::Montgomery => FieldDomain::Montgomery(MontgomeryDomain::new(Fp256::P)),
+        }
+    }
+
+    /// The backend this domain dispatches to.
+    pub fn backend(&self) -> FieldBackend {
+        match self {
+            FieldDomain::Solinas(_) => FieldBackend::Solinas,
+            FieldDomain::Montgomery(_) => FieldBackend::Montgomery,
+        }
+    }
+
+    /// The field modulus (the P-256 prime).
+    pub fn modulus(&self) -> &U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.modulus(),
+            FieldDomain::Montgomery(m) => m.modulus(),
+        }
+    }
+
+    /// The representation of `1`.
+    pub fn one(&self) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.one(),
+            FieldDomain::Montgomery(m) => m.one(),
+        }
+    }
+
+    /// Converts a canonical integer `x < p` into the domain
+    /// representation (Montgomery form, or a checked pass-through).
+    pub fn to_repr(&self, x: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => {
+                debug_assert!(x < f.modulus());
+                *x
+            }
+            FieldDomain::Montgomery(m) => m.to_mont(x),
+        }
+    }
+
+    /// Converts a representation residue back to a canonical integer.
+    pub fn from_repr(&self, x: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(_) => *x,
+            FieldDomain::Montgomery(m) => m.from_mont(x),
+        }
+    }
+
+    /// Field multiplication of two residues.
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.mul(a, b),
+            FieldDomain::Montgomery(m) => m.mul(a, b),
+        }
+    }
+
+    /// Field squaring of a residue.
+    pub fn sqr(&self, a: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.sqr(a),
+            FieldDomain::Montgomery(m) => m.sqr(a),
+        }
+    }
+
+    /// Field addition.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.add(a, b),
+            FieldDomain::Montgomery(m) => m.add(a, b),
+        }
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.sub(a, b),
+            FieldDomain::Montgomery(m) => m.sub(a, b),
+        }
+    }
+
+    /// Field negation.
+    pub fn neg(&self, a: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.neg(a),
+            FieldDomain::Montgomery(m) => m.neg(a),
+        }
+    }
+
+    /// Exponentiation of a residue by a plain integer exponent.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        match self {
+            FieldDomain::Solinas(f) => f.pow(base, exp),
+            FieldDomain::Montgomery(m) => m.pow(base, exp),
+        }
+    }
+
+    /// Fermat inverse (`a^(p-2)`); `None` for zero.
+    pub fn inv_prime(&self, a: &U256) -> Option<U256> {
+        match self {
+            FieldDomain::Solinas(f) => f.inv_prime(a),
+            FieldDomain::Montgomery(m) => m.inv_prime(a),
+        }
+    }
+
+    /// Binary-Euclid inverse; `None` for zero.
+    pub fn inv(&self, a: &U256) -> Option<U256> {
+        match self {
+            FieldDomain::Solinas(f) => f.inv(a),
+            FieldDomain::Montgomery(m) => m.inv(a),
+        }
+    }
+
+    /// Montgomery-trick batch inversion, in place; the mask is `true`
+    /// where an inverse was written (see the backend docs).
+    pub fn batch_inv(&self, values: &mut [U256]) -> Vec<bool> {
+        match self {
+            FieldDomain::Solinas(f) => f.batch_inv(values),
+            FieldDomain::Montgomery(m) => m.batch_inv(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both backends compute the same canonical results through the
+    /// uniform API (the exhaustive differential suite lives in
+    /// `tests/tests/crypto_differential.rs`).
+    #[test]
+    fn backends_agree_through_the_uniform_api() {
+        let sol = FieldDomain::p256(FieldBackend::Solinas);
+        let mon = FieldDomain::p256(FieldBackend::Montgomery);
+        let a = U256::from_u64(0xdead_beef);
+        let b = mon.modulus().wrapping_sub(&U256::from_u64(7));
+        for (x, y) in [(&a, &b), (&b, &a), (&a, &a), (&b, &b)] {
+            let via_sol = sol.from_repr(&sol.mul(&sol.to_repr(x), &sol.to_repr(y)));
+            let via_mon = mon.from_repr(&mon.mul(&mon.to_repr(x), &mon.to_repr(y)));
+            assert_eq!(via_sol, via_mon);
+        }
+        let inv_sol = sol.from_repr(&sol.inv(&sol.to_repr(&a)).unwrap());
+        let inv_mon = mon.from_repr(&mon.inv(&mon.to_repr(&a)).unwrap());
+        assert_eq!(inv_sol, inv_mon);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(FieldBackend::Solinas.name(), "solinas");
+        assert_eq!(FieldBackend::Montgomery.name(), "montgomery");
+        assert_eq!(
+            FieldDomain::p256(FieldBackend::Solinas).backend(),
+            FieldBackend::Solinas
+        );
+    }
+}

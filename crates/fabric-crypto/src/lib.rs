@@ -6,11 +6,21 @@
 //! from scratch in pure Rust:
 //!
 //! * [`bigint`] — fixed-width 256-bit integers, with a dedicated
-//!   squaring kernel and single-subtraction reduction for `< 2m` values;
+//!   squaring kernel, single-subtraction reduction for `< 2m` values,
+//!   and the shared carry-chain primitives (`adc`/`sbb`/`mac`) and
+//!   binary-Euclid modular inverse used by both field backends;
 //! * [`mont`] — Montgomery modular arithmetic for odd 256-bit moduli:
 //!   REDC multiply/square, Fermat and binary-Euclid inversion, and
 //!   Montgomery-trick *batch* inversion (one field inversion per block
-//!   of signatures);
+//!   of signatures). Still the scalar field (mod `n`), and the
+//!   differential-test oracle for the base field;
+//! * [`fp256`] — Solinas-form (NIST fast-reduction) arithmetic
+//!   specialized to the P-256 prime: reduction is a fixed nine-term
+//!   word shuffle with no multiplications, on canonical residues;
+//! * [`field`] — the backend switch wiring [`fp256`] (default) or
+//!   [`mont`] under the curve layer, selected by the
+//!   `FABRIC_FIELD_BACKEND` environment variable or the
+//!   `montgomery-field-default` cargo feature;
 //! * [`curve`] — NIST P-256 group operations: Jacobian/mixed addition,
 //!   windowed and width-5 wNAF scalar multiplication, Shamir
 //!   double-scalar multiplication, a lazily built fixed-base comb table
@@ -48,11 +58,14 @@ pub mod bigint;
 pub mod curve;
 pub mod der;
 pub mod ecdsa;
+pub mod field;
+pub mod fp256;
 pub mod identity;
 pub mod mont;
 pub mod sha256;
 
 pub use bigint::U256;
 pub use ecdsa::{EcdsaError, Signature, SigningKey, VerifyingKey};
+pub use field::{default_field_backend, FieldBackend, FieldDomain};
 pub use identity::{Certificate, Identity, Msp, NodeId, Role, SigningIdentity};
 pub use sha256::{sha256, Sha256};

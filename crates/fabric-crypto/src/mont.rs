@@ -11,7 +11,7 @@
 //! binary division from [`crate::bigint`], so a [`MontgomeryDomain`] can be
 //! built for any odd modulus without external tables.
 
-use crate::bigint::{U256, U512};
+use crate::bigint::{inv_mod_odd, mac, U256, U512};
 
 /// Precomputed context for Montgomery arithmetic modulo an odd `m < 2^256`.
 ///
@@ -164,42 +164,11 @@ impl MontgomeryDomain {
 
     /// Binary extended GCD inverse on plain (non-Montgomery) integers:
     /// returns `x` with `a·x ≡ 1 (mod m)`, or `None` when no inverse
-    /// exists. `m` must be odd, which `new` already guarantees.
+    /// exists. `m` must be odd, which `new` already guarantees. The
+    /// Euclidean core is [`inv_mod_odd`], shared with the Solinas base
+    /// field in [`crate::fp256`].
     fn inv_euclid_plain(&self, a: &U256) -> Option<U256> {
-        let m = &self.m;
-        let a = a.rem(m);
-        if a.is_zero() {
-            return None;
-        }
-        let mut u = a;
-        let mut v = *m;
-        let mut x1 = U256::ONE;
-        let mut x2 = U256::ZERO;
-        while !u.is_zero() && u != U256::ONE && v != U256::ONE {
-            while !u.is_odd() {
-                u = u.shr_small(1);
-                x1 = half_mod(&x1, m);
-            }
-            while !v.is_odd() {
-                v = v.shr_small(1);
-                x2 = half_mod(&x2, m);
-            }
-            if u >= v {
-                u = u.wrapping_sub(&v);
-                x1 = x1.sub_mod(&x2, m);
-            } else {
-                v = v.wrapping_sub(&u);
-                x2 = x2.sub_mod(&x1, m);
-            }
-        }
-        if u == U256::ONE {
-            Some(x1)
-        } else if v == U256::ONE {
-            Some(x2)
-        } else {
-            // gcd(a, m) != 1: not invertible.
-            None
-        }
+        inv_mod_odd(a, &self.m)
     }
 
     /// Montgomery batch inversion: inverts every invertible residue in
@@ -265,18 +234,16 @@ impl MontgomeryDomain {
         for i in 0..4 {
             let u = a[i].wrapping_mul(self.n0);
             // a += u * m << (64*i)
-            let mut carry = 0u128;
+            let mut carry = 0u64;
             for j in 0..4 {
-                let cur = a[i + j] as u128 + (u as u128) * (m[j] as u128) + carry;
-                a[i + j] = cur as u64;
-                carry = cur >> 64;
+                (a[i + j], carry) = mac(a[i + j], u, m[j], carry);
             }
             // propagate carry upward
             let mut k = i + 4;
             while carry != 0 {
-                let cur = a[k] as u128 + carry;
-                a[k] = cur as u64;
-                carry = cur >> 64;
+                let (sum, c) = a[k].overflowing_add(carry);
+                a[k] = sum;
+                carry = c as u64;
                 k += 1;
             }
         }
@@ -287,22 +254,6 @@ impl MontgomeryDomain {
         }
         debug_assert!(out < self.m);
         out
-    }
-}
-
-/// Halves `x` modulo an odd `m`: `x/2` when even, `(x+m)/2` otherwise
-/// (tracking the possible 257th carry bit of the addition).
-fn half_mod(x: &U256, m: &U256) -> U256 {
-    debug_assert!(x < m);
-    if !x.is_odd() {
-        x.shr_small(1)
-    } else {
-        let (sum, carry) = x.overflowing_add(m);
-        let mut half = sum.shr_small(1);
-        if carry {
-            half.0[3] |= 1 << 63;
-        }
-        half
     }
 }
 

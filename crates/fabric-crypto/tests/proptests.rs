@@ -61,15 +61,24 @@ proptest! {
     }
 
     #[test]
-    fn mont_mul_matches_schoolbook(a in arb_u256(), b in arb_u256()) {
-        // modulus: the P-256 prime
+    fn field_mul_matches_schoolbook(a in arb_u256(), b in arb_u256()) {
+        // modulus: the P-256 prime, on whichever backend is active
         let dom = &p256().fp;
         let m = *dom.modulus();
         let ar = a.rem(&m);
         let br = b.rem(&m);
-        let got = dom.from_mont(&dom.mul(&dom.to_mont(&ar), &dom.to_mont(&br)));
+        let got = dom.from_repr(&dom.mul(&dom.to_repr(&ar), &dom.to_repr(&br)));
         let expect = ar.widening_mul(&br).rem(&m);
         prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn solinas_reduction_matches_long_division(limbs in any::<[u64; 8]>()) {
+        let wide = U512(limbs);
+        prop_assert_eq!(
+            fabric_crypto::fp256::reduce_wide(&wide),
+            wide.rem(&fabric_crypto::fp256::Fp256::P)
+        );
     }
 
     #[test]

@@ -41,6 +41,15 @@ impl SigCacheKey {
         SigCacheKey(sha256(&material))
     }
 
+    /// Wraps a precomputed 32-byte key digest. The differential test
+    /// harness uses this to pin [`Self::compute`]'s derivation to the
+    /// plain byte encodings (SEC1 key ‖ digest ‖ raw `r‖s`), which is
+    /// what makes cached verdicts independent of the active field
+    /// backend.
+    pub fn from_bytes(digest: [u8; 32]) -> Self {
+        SigCacheKey(digest)
+    }
+
     fn shard(&self) -> usize {
         self.0[0] as usize % SHARDS
     }
