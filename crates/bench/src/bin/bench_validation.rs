@@ -81,6 +81,8 @@ fn main() {
     json.object("pipeline", pipeline);
     json.object("signature_cache", cache);
 
+    json.object("block_stream", bench_block_stream());
+
     let path = out_path();
     std::fs::write(&path, json.finish()).expect("write BENCH_validation.json");
     println!("\nwrote {}", path.display());
@@ -489,6 +491,186 @@ fn bench_pipeline() -> (JsonObject, JsonObject) {
     cache.number("misses", s2.misses as f64);
     cache.number("cumulative_hit_rate", s2.hit_rate());
     (pipeline, cache)
+}
+
+/// Streaming validator benchmark: an ordered multi-block stream is fed
+/// through the full network-attached path (BMac sender → wire packets →
+/// receiver reassembly → `StreamValidator`), measured against a serial
+/// `validate_and_commit` replay of the same blocks on a fresh validator,
+/// with the calibrated model's makespan as the host-independent view
+/// (wall-clock overlap on a 1-vCPU CI container is bounded by the host,
+/// not the architecture).
+fn bench_block_stream() -> JsonObject {
+    use bmac_protocol::{BmacReceiver, BmacSender};
+    use fabric_peer::{StreamConfig, StreamValidator};
+    use workload::{StreamScenario, Workload};
+
+    heading("block stream: pipelined multi-block validation");
+    const LANES: usize = 2;
+
+    let mut out = JsonObject::new();
+    let mut rows = Vec::new();
+    let mut scenario_objs = Vec::new();
+    for (name, scenario) in [
+        (
+            // Hot keys: 4 accounts, every block colliding on the same
+            // checking/savings entries.
+            "smallbank",
+            StreamScenario {
+                workload: Workload::Smallbank,
+                accounts: 4,
+                block_size: 25,
+                num_blocks: 6,
+                stale_commit_pct: 0,
+                corrupt_sigs: 0,
+                duplicate_txs: 0,
+                seed: 11,
+            },
+        ),
+        (
+            // Wide keyspace: every purchase mints a fresh license key.
+            "drm",
+            StreamScenario {
+                workload: Workload::Drm,
+                accounts: 8,
+                block_size: 25,
+                num_blocks: 4,
+                stale_commit_pct: 0,
+                corrupt_sigs: 0,
+                duplicate_txs: 0,
+                seed: 13,
+            },
+        ),
+    ] {
+        let generated = scenario.generate();
+
+        // Serial reference: one block at a time on a fresh validator.
+        let serial =
+            fabric_peer::ValidatorPipeline::new(scenario.validator_msp(), scenario.policies(), 2);
+        let t0 = Instant::now();
+        let serial_results: Vec<_> = generated
+            .blocks
+            .iter()
+            .map(|b| serial.validate_and_commit(b).expect("serial validation"))
+            .collect();
+        let serial_wall_us = t0.elapsed().as_micros() as u64;
+
+        // Streamed: the same blocks through sender → receiver → stream.
+        let pipeline = std::sync::Arc::new(fabric_peer::ValidatorPipeline::new(
+            scenario.validator_msp(),
+            scenario.policies(),
+            2,
+        ));
+        let stream = StreamValidator::new(
+            std::sync::Arc::clone(&pipeline),
+            StreamConfig {
+                verify_lanes: LANES,
+                max_in_flight: 2 * LANES,
+            },
+        );
+        let mut sender = BmacSender::new();
+        let mut receiver = BmacReceiver::new();
+        for block in &generated.blocks {
+            for packet in sender.send_block(block).expect("packetize") {
+                for received in receiver
+                    .ingest(&packet.encode().expect("encode"))
+                    .expect("reassembly")
+                {
+                    stream.push(received.block).expect("stream push");
+                }
+            }
+        }
+        let report = stream.finish().expect("stream completes");
+
+        // The stream must not change validation results (the paper's
+        // §4.1 equivalence bar; the full randomized harness lives in
+        // tests/tests/stream_equivalence.rs).
+        assert_eq!(serial_results.len(), report.results.len());
+        for (s, t) in serial_results.iter().zip(&report.results) {
+            assert_eq!(s.commit_hash, t.commit_hash, "block {}", s.block_num);
+            assert_eq!(s.codes, t.codes, "block {}", s.block_num);
+        }
+
+        // Calibrated model: measure the workload's real profile and
+        // compare stream vs serial makespans. The profile describes the
+        // workload blocks only, so the model stream is the workload
+        // blocks only (the smaller setup blocks would otherwise be
+        // priced at the workload-block profile).
+        let profile = workload::measure_profile(&generated.blocks[generated.setup_blocks..]);
+        let model = SwValidatorModel::new(2);
+        let n = generated.blocks.len() - generated.setup_blocks;
+        let model_serial_us = fabric_sim::as_micros(model.serial_stream_cost(&profile, n));
+        let model_stream_us = fabric_sim::as_micros(model.stream_makespan(&profile, n, LANES));
+        let model_overlap = model_serial_us / model_stream_us.max(1.0);
+        assert!(
+            model_stream_us < model_serial_us,
+            "{name}: model stream makespan {model_stream_us}µs must beat serial \
+             {model_serial_us}µs for ≥2 in-flight blocks"
+        );
+
+        let s = &report.stats;
+        rows.push(vec![
+            name.to_string(),
+            format!("{}", s.blocks),
+            format!("{}", s.txs),
+            format!("{:.0}", serial_wall_us as f64),
+            format!("{:.0}", s.makespan_us as f64),
+            format!("{:.2}x", s.overlap_factor),
+            format!("{:.1}", report.blocks_per_sec()),
+            format!("{:.0}", report.tps()),
+            format!("{:.2}", s.verify_occupancy),
+            format!("{:.2}", s.commit_occupancy),
+            format!("{:.2}x", model_overlap),
+        ]);
+
+        let mut o = JsonObject::new();
+        o.raw("scenario", &format!("\"{name}\""));
+        o.number("blocks", s.blocks as f64);
+        o.number("txs", s.txs as f64);
+        o.number("verify_lanes", s.verify_lanes as f64);
+        o.number("serial_wall_us", serial_wall_us as f64);
+        o.number("serial_sum_us", s.serial_sum_us as f64);
+        o.number("stream_makespan_us", s.makespan_us as f64);
+        o.number("blocks_per_s", report.blocks_per_sec());
+        o.number("tps", report.tps());
+        o.number("verify_busy_us", s.verify_busy_us as f64);
+        o.number("commit_busy_us", s.commit_busy_us as f64);
+        o.number("verify_occupancy", s.verify_occupancy);
+        o.number("commit_occupancy", s.commit_occupancy);
+        o.number("measured_overlap_factor", s.overlap_factor);
+        o.number("max_in_flight", s.max_in_flight_observed as f64);
+        o.number("model_blocks", n as f64);
+        o.number("model_serial_us", model_serial_us);
+        o.number("model_stream_makespan_us", model_stream_us);
+        o.number("model_overlap_factor", model_overlap);
+        scenario_objs.push(o);
+    }
+    table(
+        &[
+            "scenario",
+            "blocks",
+            "txs",
+            "serial_us",
+            "stream_us",
+            "overlap",
+            "blocks/s",
+            "tps",
+            "vrfy.occ",
+            "cmt.occ",
+            "model.overlap",
+        ],
+        &rows,
+    );
+    println!(
+        "(measured overlap on this host is bounded by {} vCPU(s); model.overlap is the \
+         calibrated {LANES}-lane pipeline vs the serial chain)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+    out.number("verify_lanes", LANES as f64);
+    out.array("scenarios", scenario_objs);
+    out
 }
 
 /// Pulls a numeric field out of a flat JSON line (the child process's

@@ -130,6 +130,9 @@ pub struct ReceiverStats {
     pub blocks: u64,
     /// Identity-cache entries installed.
     pub identities: u64,
+    /// Section packets discarded because their block had already
+    /// completed (late duplicates on the wire).
+    pub late_duplicates: u64,
 }
 
 /// The software BMac receiver.
@@ -137,6 +140,19 @@ pub struct ReceiverStats {
 pub struct BmacReceiver {
     cache: IdentityCache,
     partial: HashMap<u64, PartialBlock>,
+    /// Numbers of blocks already delivered: a duplicate section arriving
+    /// after its block completed must be dropped, not allowed to seed a
+    /// ghost partial block (which would both report a phantom loss and,
+    /// under full duplication, deliver the block twice). Only the
+    /// out-of-order frontier is stored; everything at or below
+    /// `completed_watermark` is pruned, so memory stays O(reorder depth)
+    /// when numbering is dense from the watermark (block 0 for
+    /// [`BmacReceiver::new`]; use [`BmacReceiver::resuming_from`] when
+    /// attaching mid-chain, otherwise the set grows by one entry per
+    /// delivered block).
+    completed: std::collections::HashSet<u64>,
+    /// All blocks `0..=watermark` are considered delivered.
+    completed_watermark: Option<u64>,
     stats: ReceiverStats,
 }
 
@@ -144,6 +160,18 @@ impl BmacReceiver {
     /// Creates a receiver with an empty identity cache.
     pub fn new() -> Self {
         BmacReceiver::default()
+    }
+
+    /// Creates a receiver attached to a chain whose next expected block
+    /// is `next_block` (the resuming peer's `Ledger::next_block_number`):
+    /// sections for blocks below it are discarded as late duplicates,
+    /// and the completed-block memory stays bounded by the reorder depth
+    /// instead of growing per delivered block.
+    pub fn resuming_from(next_block: u64) -> Self {
+        BmacReceiver {
+            completed_watermark: next_block.checked_sub(1),
+            ..BmacReceiver::default()
+        }
     }
 
     /// Statistics so far.
@@ -202,6 +230,10 @@ impl BmacReceiver {
             // The new identity may unblock complete-but-waiting blocks.
             return self.drain_ready();
         }
+        if self.is_completed(packet.block_num) {
+            self.stats.late_duplicates += 1;
+            return Ok(Vec::new());
+        }
         let partial = self.partial.entry(packet.block_num).or_default();
         partial.total_txs = Some(packet.total_txs);
         partial.wire_bytes += wire_len;
@@ -221,6 +253,26 @@ impl BmacReceiver {
             return Ok(Vec::new());
         }
         self.complete_one(packet.block_num)
+    }
+
+    fn is_completed(&self, block_num: u64) -> bool {
+        match self.completed_watermark {
+            Some(w) if block_num <= w => true,
+            _ => self.completed.contains(&block_num),
+        }
+    }
+
+    fn mark_completed(&mut self, block_num: u64) {
+        self.completed.insert(block_num);
+        // Advance the dense prefix and prune everything under it.
+        loop {
+            let next = self.completed_watermark.map_or(0, |w| w + 1);
+            if self.completed.remove(&next) {
+                self.completed_watermark = Some(next);
+            } else {
+                break;
+            }
+        }
     }
 
     /// Attempts to finish every structurally complete block.
@@ -248,6 +300,7 @@ impl BmacReceiver {
         match result {
             Ok(block) => {
                 self.partial.remove(&block_num);
+                self.mark_completed(block_num);
                 self.stats.blocks += 1;
                 Ok(vec![block])
             }
@@ -542,6 +595,50 @@ mod tests {
         // identity sync, and loss is observable via incomplete_blocks().
         assert_eq!(completed, 0);
         assert_eq!(receiver.incomplete_blocks(), vec![block.header.number]);
+    }
+
+    #[test]
+    fn late_duplicates_after_completion_are_dropped() {
+        let block = one_block(2);
+        let mut sender = BmacSender::new();
+        let mut receiver = BmacReceiver::new();
+        let packets = sender.send_block(&block).unwrap();
+        let mut completed = 0;
+        for p in &packets {
+            completed += receiver.ingest(&p.encode().unwrap()).unwrap().len();
+        }
+        assert_eq!(completed, 1);
+        // Replaying the whole block (a full wire-level duplicate) must
+        // not deliver it twice NOR seed a ghost partial that would read
+        // as a phantom loss.
+        for p in &packets {
+            completed += receiver.ingest(&p.encode().unwrap()).unwrap().len();
+        }
+        assert_eq!(completed, 1);
+        assert!(receiver.incomplete_blocks().is_empty());
+        assert!(receiver.stats().late_duplicates > 0);
+    }
+
+    #[test]
+    fn resuming_receiver_drops_blocks_below_the_chain_tip() {
+        let mut current = one_block(1);
+        current.header.number = 5;
+        let mut sender = BmacSender::new();
+        let mut receiver = BmacReceiver::resuming_from(5);
+        let mut done = 0;
+        for p in sender.send_block(&current).unwrap() {
+            done += receiver.ingest(&p.encode().unwrap()).unwrap().len();
+        }
+        assert_eq!(done, 1, "the expected block still completes");
+        // A replayed block from below the resume point is discarded as a
+        // late duplicate — no ghost partial, no phantom loss report.
+        let mut old = one_block(1);
+        old.header.number = 3;
+        for p in sender.send_block(&old).unwrap() {
+            assert!(receiver.ingest(&p.encode().unwrap()).unwrap().is_empty());
+        }
+        assert!(receiver.stats().late_duplicates > 0);
+        assert!(receiver.incomplete_blocks().is_empty());
     }
 
     #[test]

@@ -132,6 +132,13 @@ impl Ledger {
         self.inner.lock().blocks.len() as u64
     }
 
+    /// Number of the next block this ledger will accept — the streaming
+    /// validator's reorder buffer starts its sequence here so a stream
+    /// can resume an existing chain.
+    pub fn next_block_number(&self) -> u64 {
+        self.height()
+    }
+
     /// Hash of the chain tip's header, or zeros for an empty chain.
     pub fn tip_hash(&self) -> [u8; 32] {
         let g = self.inner.lock();

@@ -15,8 +15,13 @@
 //!
 //! Both implement Fabric v1.4 semantics, bottleneck-for-bottleneck: the
 //! peer verifies *all* endorsements regardless of policy, evaluates
-//! policy sub-expressions sequentially, and never overlaps consecutive
-//! blocks.
+//! policy sub-expressions sequentially, and — in the baseline
+//! `validate_and_commit` path — never overlaps consecutive blocks.
+//!
+//! The [`stream`] module lifts that last restriction: it reproduces the
+//! Blockchain Machine's *pipelined* block processor (verification of
+//! block N+1 overlapping MVCC/commit of block N) while provably
+//! preserving the serial path's results; see `crates/fabric-peer/README.md`.
 
 #![warn(missing_docs)]
 
@@ -24,9 +29,11 @@ pub mod costs;
 pub mod model;
 pub mod pipeline;
 pub mod sigcache;
+pub mod stream;
 
 pub use costs::SwCosts;
 pub use fabric_ledger::TxValidationCode;
 pub use model::{BlockProfile, CpuProfile, SwBreakdown, SwValidatorModel};
 pub use pipeline::{BlockValidationResult, StageTimings, ValidateError, ValidatorPipeline};
 pub use sigcache::{SigCacheKey, SigCacheStats, SignatureCache};
+pub use stream::{StreamConfig, StreamError, StreamReport, StreamStats, StreamValidator};

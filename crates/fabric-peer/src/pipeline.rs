@@ -260,6 +260,14 @@ impl ValidatorPipeline {
         &self,
         block: &Block,
     ) -> Result<BlockValidationResult, ValidateError> {
+        let verified = self.verify_stage(block)?;
+        self.commit_stage(block, verified)
+    }
+
+    /// Steps 1–2: unmarshal, orderer check, parallel verify/vscc. This
+    /// half touches no shared validator state beyond the caches, so the
+    /// streaming validator runs it for several blocks concurrently.
+    pub(crate) fn verify_stage(&self, block: &Block) -> Result<VerifiedBlock, ValidateError> {
         let mut timings = StageTimings::default();
 
         // Step 1a: retrieve block and transaction data (unmarshal).
@@ -275,8 +283,32 @@ impl ValidatorPipeline {
 
         // Step 2: parallel verification + vscc.
         let t0 = Instant::now();
-        let mut codes = self.verify_vscc_parallel(&decoded, block_valid);
+        let codes = self.verify_vscc_parallel(&decoded, block_valid);
         timings.verify_vscc_us = t0.elapsed().as_micros() as u64;
+
+        Ok(VerifiedBlock {
+            decoded,
+            block_valid,
+            codes,
+            timings,
+        })
+    }
+
+    /// Steps 3–5: sequential MVCC against the *current* state database,
+    /// state commit, ledger append. Must run strictly in block order —
+    /// the streaming validator funnels every block through its commit
+    /// sequencer before calling this.
+    pub(crate) fn commit_stage(
+        &self,
+        block: &Block,
+        verified: VerifiedBlock,
+    ) -> Result<BlockValidationResult, ValidateError> {
+        let VerifiedBlock {
+            decoded,
+            block_valid,
+            mut codes,
+            mut timings,
+        } = verified;
 
         // Step 3: sequential MVCC, "applied successively to all the valid
         // transactions of the block, starting from the first one"
@@ -306,8 +338,19 @@ impl ValidatorPipeline {
         }
         timings.mvcc_us = t0.elapsed().as_micros() as u64;
 
-        // Step 4a: state DB commit of valid write sets.
+        // Step 4a: state DB commit of valid write sets. The tip guard is
+        // the commit-ordering invariant the streaming sequencer relies
+        // on: writes land in strictly increasing block order, so MVCC of
+        // block N+1 (above) observed every committed write of block N.
         let t0 = Instant::now();
+        debug_assert!(
+            self.state_db
+                .tip_height()
+                .is_none_or(|h| h.block_num < decoded.number),
+            "state writes for block {} would land at or below the committed tip {:?}",
+            decoded.number,
+            self.state_db.tip_height(),
+        );
         for (i, tx) in decoded.txs.iter().enumerate() {
             if codes[i] != TxValidationCode::Valid {
                 continue;
@@ -549,6 +592,17 @@ impl ValidatorPipeline {
     fn bump_verifications(&self, n: usize) {
         self.verifications.fetch_add(n, Ordering::Relaxed);
     }
+}
+
+/// Output of the signature half of validation (steps 1–2), ready for the
+/// order-sensitive MVCC/commit half. Fully owned, so the streaming
+/// validator can hand it between threads.
+#[derive(Debug)]
+pub(crate) struct VerifiedBlock {
+    pub(crate) decoded: DecodedBlock,
+    pub(crate) block_valid: bool,
+    pub(crate) codes: Vec<TxValidationCode>,
+    pub(crate) timings: StageTimings,
 }
 
 /// One unique signature check: the precomputed cache key, the message
@@ -798,6 +852,65 @@ mod tests {
         decoded.txs[0].signed_payload.push(0xFF);
         let codes = validator.verify_vscc_parallel(&decoded, true);
         assert_eq!(codes[0], TxValidationCode::BadSignature);
+    }
+
+    #[test]
+    fn stage_timings_total_is_the_sum_of_its_components() {
+        // Distinct powers of two: any component dropped from (or double
+        // counted in) total_excl_ledger_us would change the sum.
+        let t = StageTimings {
+            unmarshal_us: 1,
+            block_verify_us: 2,
+            verify_vscc_us: 4,
+            mvcc_us: 8,
+            statedb_commit_us: 16,
+            ledger_us: 32,
+        };
+        assert_eq!(t.total_excl_ledger_us(), 1 + 2 + 4 + 8 + 16);
+        // The paper's metric excludes exactly one stage: ledger commit.
+        assert_eq!(t.total_excl_ledger_us() + t.ledger_us, 63);
+        // Guard against silent stage additions: adding a field to
+        // StageTimings changes its size — whoever does that must decide
+        // whether the new stage belongs in total_excl_ledger_us and
+        // update this test alongside it.
+        assert_eq!(
+            std::mem::size_of::<StageTimings>(),
+            6 * std::mem::size_of::<u64>(),
+            "StageTimings gained a field: include it in total_excl_ledger_us \
+             (or document why not) and update this test"
+        );
+    }
+
+    #[test]
+    fn stage_timings_are_monotone_over_a_real_block() {
+        // For a real validation every stage is non-negative, the
+        // exclusive total dominates each component, and adding ledger
+        // time never decreases the total (monotonicity of the metric).
+        let (mut net, validator) = network_and_validator(2, 2);
+        net.submit_invocation(0, "kv", "put", &["m1".into(), "1".into()])
+            .unwrap();
+        let blocks = net
+            .submit_invocation(0, "kv", "put", &["m2".into(), "2".into()])
+            .unwrap();
+        let t = validator.validate_and_commit(&blocks[0]).unwrap().timings;
+        let total = t.total_excl_ledger_us();
+        for (name, component) in [
+            ("unmarshal", t.unmarshal_us),
+            ("block_verify", t.block_verify_us),
+            ("verify_vscc", t.verify_vscc_us),
+            ("mvcc", t.mvcc_us),
+            ("statedb_commit", t.statedb_commit_us),
+        ] {
+            assert!(
+                component <= total,
+                "{name} ({component}) exceeds total {total}"
+            );
+        }
+        assert_eq!(
+            total,
+            t.unmarshal_us + t.block_verify_us + t.verify_vscc_us + t.mvcc_us + t.statedb_commit_us
+        );
+        assert!(total + t.ledger_us >= total);
     }
 
     #[test]

@@ -145,6 +145,11 @@ pub struct StateDb {
 struct Inner {
     map: BTreeMap<String, VersionedValue>,
     stats: StateDbStats,
+    /// High-water mark of heights passed to [`StateDb::apply`]. The
+    /// validator's commit stage debug-asserts against it that block
+    /// writes land in strictly increasing block order (the invariant the
+    /// streaming commit sequencer exists to preserve).
+    tip: Option<Height>,
 }
 
 impl StateDb {
@@ -172,6 +177,10 @@ impl StateDb {
     /// Applies a write batch, stamping every entry at `height`.
     pub fn apply(&self, batch: &WriteBatch, height: Height) {
         let mut g = self.inner.write();
+        g.tip = Some(match g.tip {
+            Some(tip) => tip.max(height),
+            None => height,
+        });
         for (key, value) in batch.iter() {
             g.stats.writes += 1;
             match value {
@@ -213,6 +222,23 @@ impl StateDb {
     /// Snapshot of the statistics counters.
     pub fn stats(&self) -> StateDbStats {
         self.inner.read().stats
+    }
+
+    /// Highest height ever passed to [`StateDb::apply`], or `None` for a
+    /// database that has never committed. Commit heights in Fabric are
+    /// monotone, so this is "the visibility horizon": a reader at this
+    /// height sees every committed write.
+    pub fn tip_height(&self) -> Option<Height> {
+        self.inner.read().tip
+    }
+
+    /// Full ordered dump of the live keys with values and versions — the
+    /// serial-equivalence harness compares final database contents with
+    /// this (a `range` over the whole keyspace would need a sentinel
+    /// upper bound).
+    pub fn snapshot(&self) -> Vec<(String, VersionedValue)> {
+        let g = self.inner.read();
+        g.map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
     }
 
     /// MVCC validation of a read set: every `(key, expected)` pair must

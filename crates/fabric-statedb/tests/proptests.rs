@@ -65,6 +65,100 @@ proptest! {
     }
 
     #[test]
+    fn range_boundaries_match_reference(
+        entries in proptest::collection::btree_map("[a-e]{1,3}", any::<u8>(), 0..16),
+        start in "[a-e]{1,3}",
+    ) {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        for (k, v) in &entries {
+            b.put(k.clone(), vec![*v]);
+        }
+        db.apply(&b, Height::new(1, 0));
+        // start == end: always empty, even when `start` is a live key.
+        prop_assert!(db.range(&start, &start).is_empty());
+        // Degenerate/empty windows never panic and match BTreeMap.
+        let next = format!("{start}\u{0}");
+        let got: Vec<String> = db.range(&start, &next).into_iter().map(|(k, _)| k).collect();
+        let expected: Vec<String> = entries
+            .range(start.clone()..next)
+            .map(|(k, _)| k.clone())
+            .collect();
+        prop_assert_eq!(got, expected);
+        // The empty string is below every key: ["", start) is a prefix
+        // scan, ["", "") is empty.
+        prop_assert!(db.range("", "").is_empty());
+        let below: Vec<String> = db.range("", &start).into_iter().map(|(k, _)| k).collect();
+        prop_assert!(below.iter().all(|k| k.as_str() < start.as_str()));
+    }
+
+    #[test]
+    fn write_batch_apply_is_last_op_wins(
+        ops in proptest::collection::vec(("[a-c]", proptest::option::of(any::<u8>())), 1..24),
+    ) {
+        // One batch mixing puts and deletes of overlapping keys: apply
+        // must behave as if each op ran in sequence (delete-then-put
+        // leaves the put, put-then-delete leaves nothing), with every
+        // surviving entry stamped at the batch height.
+        let db = StateDb::new();
+        let mut seed = WriteBatch::new();
+        seed.put("a", b"seed".to_vec());
+        db.apply(&seed, Height::new(1, 0));
+
+        let batch: WriteBatch = ops
+            .iter()
+            .map(|(k, v)| (k.clone(), v.map(|b| vec![b])))
+            .collect();
+        let height = Height::new(2, 5);
+        db.apply(&batch, height);
+
+        let mut reference: std::collections::BTreeMap<String, Option<Vec<u8>>> =
+            [("a".to_string(), Some(b"seed".to_vec()))].into_iter().collect();
+        for (k, v) in &ops {
+            reference.insert(k.clone(), v.map(|b| vec![b]));
+        }
+        for (key, expected) in reference {
+            match (db.get(&key), expected) {
+                (Some(got), Some(want)) => {
+                    prop_assert_eq!(&got.value, &want);
+                    // Survivors written by THIS batch carry its height;
+                    // the untouched seed keeps Height(1, 0).
+                    let touched = ops.iter().any(|(k, _)| *k == key);
+                    let want_height = if touched { height } else { Height::new(1, 0) };
+                    prop_assert_eq!(got.version, want_height);
+                }
+                (None, None) => {}
+                (got, want) => {
+                    return Err(TestCaseError(format!(
+                        "key {key:?}: got {got:?}, want {want:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_changes_nothing_but_advances_tip(
+        heights in proptest::collection::vec((0u64..8, 0u64..8), 1..8),
+    ) {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        b.put("k", vec![1]);
+        db.apply(&b, Height::new(0, 0));
+        let before = db.snapshot();
+        let mut max = Height::new(0, 0);
+        for (bn, tn) in heights {
+            let h = Height::new(bn, tn);
+            db.apply(&WriteBatch::new(), h);
+            max = max.max(h);
+            // tip is a high-water mark even for no-op commits...
+            prop_assert_eq!(db.tip_height(), Some(max));
+        }
+        // ...and contents are untouched.
+        prop_assert_eq!(db.snapshot(), before);
+    }
+
+    #[test]
     fn range_scan_matches_reference(
         entries in proptest::collection::btree_map("[a-z]{1,5}", any::<u8>(), 0..32),
         bounds in ("[a-z]{1,2}", "[a-z]{1,2}"),

@@ -253,6 +253,9 @@ tuple_strategy!(A 0, B 1, C 2, D 3);
 tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
 tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
 tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
 
 /// Regex-lite string strategy: `&str` patterns of the form
 /// `[chars]{m,n}`, `[chars]{m}`, or `[chars]` (single char), where the

@@ -12,7 +12,9 @@
 pub mod driver;
 pub mod drm;
 pub mod smallbank;
+pub mod stream_gen;
 
 pub use driver::{measure_profile, Driver, Workload};
 pub use drm::Drm;
 pub use smallbank::Smallbank;
+pub use stream_gen::{GeneratedStream, StreamScenario};
