@@ -156,6 +156,16 @@ pub enum PacketError {
     BadAnnotation(u8),
     /// Payload exceeds [`MAX_PAYLOAD`].
     PayloadTooLarge(usize),
+    /// A count or offset exceeds its wire-format field width (the
+    /// annotation count is `u16`, section indices/tx counts are `u16`,
+    /// annotation offsets/lengths are `u32`). Returned instead of
+    /// silently truncating the value on encode.
+    TooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
 }
 
 impl fmt::Display for PacketError {
@@ -167,11 +177,24 @@ impl fmt::Display for PacketError {
             PacketError::BadFieldKind(c) => write!(f, "unknown field kind {c}"),
             PacketError::BadAnnotation(c) => write!(f, "unknown annotation type {c}"),
             PacketError::PayloadTooLarge(n) => write!(f, "payload of {n} bytes too large"),
+            PacketError::TooLarge { what, value } => {
+                write!(f, "{what} of {value} exceeds the wire-format field width")
+            }
         }
     }
 }
 
 impl std::error::Error for PacketError {}
+
+/// Checked narrowing to a `u16` wire field.
+pub(crate) fn u16_of(what: &'static str, value: usize) -> Result<u16, PacketError> {
+    u16::try_from(value).map_err(|_| PacketError::TooLarge { what, value })
+}
+
+/// Checked narrowing to a `u32` wire field.
+pub(crate) fn u32_of(what: &'static str, value: usize) -> Result<u32, PacketError> {
+    u32::try_from(value).map_err(|_| PacketError::TooLarge { what, value })
+}
 
 impl BmacPacket {
     /// Serializes the packet including L2/L3/L4 framing, ready for the
@@ -186,6 +209,10 @@ impl BmacPacket {
         if self.payload.len() > MAX_PAYLOAD {
             return Err(PacketError::PayloadTooLarge(self.payload.len()));
         }
+        // The annotation count travels as u16; more than 65535 would
+        // silently wrap and desynchronize the variable-part parse.
+        let num_annotations = u16_of("annotation count", self.annotations.len())?;
+        let payload_len = u32_of("payload length", self.payload.len())?;
         let mut buf = BytesMut::with_capacity(
             L2_L3_L4_HEADER_BYTES + 24 + self.annotations.len() * 10 + self.payload.len(),
         );
@@ -213,8 +240,8 @@ impl BmacPacket {
         buf.put_u8(self.section.code());
         buf.put_u16(self.index);
         buf.put_u16(self.total_txs);
-        buf.put_u16(self.annotations.len() as u16);
-        buf.put_u32(self.payload.len() as u32);
+        buf.put_u16(num_annotations);
+        buf.put_u32(payload_len);
         // L7 variable part: annotations.
         for a in &self.annotations {
             match a {
@@ -420,6 +447,25 @@ mod tests {
             p.encode(),
             Err(PacketError::PayloadTooLarge(MAX_PAYLOAD + 1))
         );
+    }
+
+    #[test]
+    fn annotation_count_overflow_rejected_not_wrapped() {
+        // u16::MAX + 1 annotations used to wrap the wire count to 0,
+        // leaving the parser to read the annotation bytes as payload.
+        let mut p = sample();
+        p.annotations = vec![Annotation::Locator { offset: 0, id: 1 }; u16::MAX as usize + 1];
+        assert_eq!(
+            p.encode(),
+            Err(PacketError::TooLarge {
+                what: "annotation count",
+                value: u16::MAX as usize + 1,
+            })
+        );
+        // Exactly u16::MAX still encodes and round-trips.
+        p.annotations.truncate(u16::MAX as usize);
+        let q = BmacPacket::decode(&p.encode().unwrap()).unwrap();
+        assert_eq!(q.annotations.len(), u16::MAX as usize);
     }
 
     #[test]

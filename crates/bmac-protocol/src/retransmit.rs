@@ -60,11 +60,24 @@ impl GoBackNSender {
     ///
     /// Panics when `window == 0`.
     pub fn new(window: usize) -> Self {
+        Self::with_initial_seq(window, 0)
+    }
+
+    /// Creates a sender whose first packet carries sequence number
+    /// `start`. The paired receiver must be built with
+    /// [`GoBackNReceiver::expecting`]`(start)`. This is how long-lived
+    /// connections resume, and how the wraparound tests start a pair a
+    /// few packets below `Seq::MAX` instead of sending 2^32 packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn with_initial_seq(window: usize, start: Seq) -> Self {
         assert!(window > 0, "window must be positive");
         GoBackNSender {
             window,
-            next_seq: 0,
-            base: 0,
+            next_seq: start,
+            base: start,
             in_flight: VecDeque::new(),
             queued: VecDeque::new(),
             retransmissions: 0,
@@ -152,6 +165,15 @@ impl GoBackNReceiver {
         GoBackNReceiver::default()
     }
 
+    /// Creates a receiver expecting sequence `start` (the counterpart of
+    /// [`GoBackNSender::with_initial_seq`]).
+    pub fn expecting(start: Seq) -> Self {
+        GoBackNReceiver {
+            expected: start,
+            duplicates: 0,
+        }
+    }
+
     /// Processes one wire packet with trailer. Returns the inner packet
     /// bytes when it is the next in order (deliver to the BMac
     /// receiver), plus the feedback to send back.
@@ -221,9 +243,21 @@ fn split_trailer(wire: &[u8]) -> Result<(&[u8], Seq), PacketError> {
     Ok((inner, seq))
 }
 
-/// Wrap-around-aware `a < b` for sequence numbers.
+/// Wrap-around-aware `a < b` for sequence numbers: RFC 1982 serial
+/// arithmetic with half-range `2^31`. `a < b` iff the forward distance
+/// `(b − a) mod 2^32` lies in `1..2^31` — so `seq_lt(a, a)` is false,
+/// `seq_lt(a, a+1)` is true (including across the `Seq::MAX → 0` wrap),
+/// and antipodal pairs (distance exactly `2^31`) compare unordered in
+/// both directions, which a window ≪ 2^31 never produces.
+///
+/// (Audit note: the previous form `b.wrapping_sub(a).wrapping_sub(1) <
+/// Seq::MAX / 2` is arithmetically identical — `d − 1 < 2^31 − 1` with
+/// the `d = 0` case wrapping out of range — i.e. no off-by-one; this
+/// spelling plus the boundary tests below pin the semantics.)
 fn seq_lt(a: Seq, b: Seq) -> bool {
-    b.wrapping_sub(a).wrapping_sub(1) < Seq::MAX / 2
+    const HALF_RANGE: Seq = 1 << (Seq::BITS - 1);
+    let forward = b.wrapping_sub(a);
+    forward != 0 && forward < HALF_RANGE
 }
 
 #[cfg(test)]
@@ -358,5 +392,74 @@ mod tests {
         assert!(seq_lt(0, 1));
         assert!(!seq_lt(1, 0));
         assert!(!seq_lt(5, 5));
+    }
+
+    /// Pins the half-range semantics at every boundary the ISSUE audit
+    /// names: `a == b`, `b == a + 1`, the `Seq::MAX → 0` wrap, the edges
+    /// of the forward half-range, and the antipodal distance `2^31`
+    /// (unordered both ways — unreachable with any sane window, but the
+    /// comparator must not claim both `a < b` and `b < a` there).
+    #[test]
+    fn seq_comparison_boundary_matrix() {
+        const HALF: Seq = 1 << (Seq::BITS - 1);
+        for a in [0, 1, 7, HALF - 1, HALF, HALF + 1, Seq::MAX - 1, Seq::MAX] {
+            // Reflexivity: never a < a.
+            assert!(!seq_lt(a, a), "a={a}");
+            // Immediate successor, including across the wrap.
+            assert!(seq_lt(a, a.wrapping_add(1)), "a={a}");
+            assert!(!seq_lt(a.wrapping_add(1), a), "a={a}");
+            // Largest ordered forward distance: 2^31 − 1.
+            assert!(seq_lt(a, a.wrapping_add(HALF - 1)), "a={a}");
+            assert!(!seq_lt(a.wrapping_add(HALF - 1), a), "a={a}");
+            // Antipode: unordered in both directions, never both true.
+            assert!(!seq_lt(a, a.wrapping_add(HALF)), "a={a}");
+            assert!(!seq_lt(a.wrapping_add(HALF), a), "a={a}");
+            // One past the antipode: the order flips.
+            assert!(!seq_lt(a, a.wrapping_add(HALF + 1)), "a={a}");
+            assert!(seq_lt(a.wrapping_add(HALF + 1), a), "a={a}");
+        }
+    }
+
+    #[test]
+    fn lossy_channel_recovers_across_seq_wrap() {
+        // Start 5 packets below the wrap so sequences run
+        // MAX-5 .. MAX, 0, 1, ... — every ack/nack/duplicate compare in
+        // this run crosses the boundary.
+        let start = Seq::MAX - 5;
+        let packets: Vec<Vec<u8>> = (0..20).map(pkt).collect();
+        let mut sender = GoBackNSender::with_initial_seq(4, start);
+        let mut receiver = GoBackNReceiver::expecting(start);
+        let mut delivered = Vec::new();
+        let mut channel: VecDeque<Vec<u8>> = VecDeque::new();
+        for p in &packets {
+            channel.extend(sender.send(p.clone()));
+        }
+        let mut step = 0usize;
+        let mut idle_rounds = 0;
+        while idle_rounds < 3 {
+            let mut progressed = false;
+            while let Some(wire) = channel.pop_front() {
+                step += 1;
+                if step.is_multiple_of(5) {
+                    continue; // lossy
+                }
+                let (inner, fb) = receiver.on_wire(&wire).unwrap();
+                if let Some(inner) = inner {
+                    delivered.push(inner);
+                    progressed = true;
+                }
+                channel.extend(sender.on_feedback(fb));
+            }
+            if sender.in_flight() > 0 {
+                channel.extend(sender.on_timeout());
+            }
+            idle_rounds = if progressed { 0 } else { idle_rounds + 1 };
+        }
+        assert_eq!(delivered, packets);
+        assert_eq!(
+            receiver.expected(),
+            start.wrapping_add(packets.len() as Seq)
+        );
+        assert_eq!(sender.in_flight(), 0);
     }
 }

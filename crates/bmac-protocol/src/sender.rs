@@ -24,7 +24,7 @@ use fabric_protos::messages::{
 use fabric_protos::wire::WireError;
 
 use crate::cache::IdentityCache;
-use crate::packet::{Annotation, BmacPacket, FieldKind, PacketError, SectionType};
+use crate::packet::{u16_of, u32_of, Annotation, BmacPacket, FieldKind, PacketError, SectionType};
 
 /// Statistics for the bandwidth comparison of Figure 9a.
 #[derive(Debug, Clone, Copy, Default)]
@@ -114,7 +114,11 @@ impl BmacSender {
     /// [`SendError`] when the block is structurally undecodable or a
     /// section exceeds the jumbo-frame payload limit.
     pub fn send_block(&mut self, block: &Block) -> Result<Vec<BmacPacket>, SendError> {
-        let total_txs = block.data.data.len() as u16;
+        // The tx count and per-tx section index travel as u16; a block
+        // beyond 65535 transactions must be rejected up front, not have
+        // its count wrap and its sections alias each other.
+        let total_txs =
+            u16_of("transaction count", block.data.data.len()).map_err(SendError::Packet)?;
         let block_num = block.header.number;
         let mut packets: Vec<BmacPacket> = Vec::with_capacity(block.data.data.len() + 4);
 
@@ -135,12 +139,12 @@ impl BmacSender {
             let (payload, mut annotations, removed) =
                 self.strip_identities(env_bytes, block_num, total_txs, &mut sync)?;
             packets.extend(sync);
-            annotations.extend(tx_pointers(env_bytes).map_err(SendError::Decode)?);
+            annotations.extend(tx_pointers(env_bytes)?);
             self.stats.identity_bytes_removed += removed as u64;
             packets.push(BmacPacket {
                 block_num,
                 section: SectionType::Transaction,
-                index: i as u16,
+                index: u16_of("transaction index", i).map_err(SendError::Packet)?,
                 total_txs,
                 annotations,
                 payload: Bytes::from(payload),
@@ -153,13 +157,10 @@ impl BmacSender {
         let (payload, mut annotations, removed) =
             self.strip_identities(&md_bytes, block_num, total_txs, &mut sync)?;
         packets.extend(sync);
-        annotations.extend(
-            metadata_pointers(
-                &block.metadata.metadata[metadata_index::SIGNATURES],
-                &md_bytes,
-            )
-            .map_err(SendError::Decode)?,
-        );
+        annotations.extend(metadata_pointers(
+            &block.metadata.metadata[metadata_index::SIGNATURES],
+            &md_bytes,
+        )?);
         self.stats.identity_bytes_removed += removed as u64;
         packets.push(BmacPacket {
             block_num,
@@ -244,7 +245,7 @@ impl BmacSender {
         for (off, len, id) in kept {
             stripped.extend_from_slice(&bytes[pos..off]);
             locators.push(Annotation::Locator {
-                offset: stripped.len() as u32,
+                offset: u32_of("locator offset", stripped.len()).map_err(SendError::Packet)?,
                 id,
             });
             pos = off + len;
@@ -257,69 +258,77 @@ impl BmacSender {
 
 /// Pointer annotations for a transaction section, in original-envelope
 /// coordinates (§3.2 AnnotationGenerator).
-fn tx_pointers(env_bytes: &[u8]) -> Result<Vec<Annotation>, WireError> {
-    let env = Envelope::unmarshal(env_bytes)?;
+fn tx_pointers(env_bytes: &[u8]) -> Result<Vec<Annotation>, SendError> {
+    let env = Envelope::unmarshal(env_bytes).map_err(SendError::Decode)?;
     let mut out = Vec::new();
     push_pointer(
         &mut out,
         env_bytes,
         &env.signature,
         FieldKind::ClientSignature,
-    );
-    push_pointer(&mut out, env_bytes, &env.payload, FieldKind::SignedPayload);
-    let payload = Payload::unmarshal(&env.payload)?;
-    let tx = Transaction::unmarshal(&payload.data)?;
+    )?;
+    push_pointer(&mut out, env_bytes, &env.payload, FieldKind::SignedPayload)?;
+    let payload = Payload::unmarshal(&env.payload).map_err(SendError::Decode)?;
+    let tx = Transaction::unmarshal(&payload.data).map_err(SendError::Decode)?;
     if let Some(action) = tx.actions.first() {
-        let cap = ChaincodeActionPayload::unmarshal(&action.payload)?;
+        let cap = ChaincodeActionPayload::unmarshal(&action.payload).map_err(SendError::Decode)?;
         push_pointer(
             &mut out,
             env_bytes,
             &cap.action.proposal_response_payload,
             FieldKind::ProposalResponse,
-        );
+        )?;
         for e in &cap.action.endorsements {
             push_pointer(
                 &mut out,
                 env_bytes,
                 &e.signature,
                 FieldKind::EndorsementSignature,
-            );
+            )?;
         }
         let prp = fabric_protos::messages::ProposalResponsePayload::unmarshal(
             &cap.action.proposal_response_payload,
-        )?;
-        let cc_action = fabric_protos::messages::ChaincodeAction::unmarshal(&prp.extension)?;
-        push_pointer(&mut out, env_bytes, &cc_action.results, FieldKind::RwSet);
+        )
+        .map_err(SendError::Decode)?;
+        let cc_action = fabric_protos::messages::ChaincodeAction::unmarshal(&prp.extension)
+            .map_err(SendError::Decode)?;
+        push_pointer(&mut out, env_bytes, &cc_action.results, FieldKind::RwSet)?;
     }
     Ok(out)
 }
 
 /// Pointer annotation for the orderer signature in the metadata section.
-fn metadata_pointers(sig_slot: &[u8], md_bytes: &[u8]) -> Result<Vec<Annotation>, WireError> {
+fn metadata_pointers(sig_slot: &[u8], md_bytes: &[u8]) -> Result<Vec<Annotation>, SendError> {
     let mut out = Vec::new();
     if !sig_slot.is_empty() {
-        let md_sig = MetadataSignature::unmarshal(sig_slot)?;
+        let md_sig = MetadataSignature::unmarshal(sig_slot).map_err(SendError::Decode)?;
         push_pointer(
             &mut out,
             md_bytes,
             &md_sig.signature,
             FieldKind::BlockSignature,
-        );
+        )?;
     }
     Ok(out)
 }
 
-fn push_pointer(out: &mut Vec<Annotation>, haystack: &[u8], needle: &[u8], kind: FieldKind) {
+fn push_pointer(
+    out: &mut Vec<Annotation>,
+    haystack: &[u8],
+    needle: &[u8],
+    kind: FieldKind,
+) -> Result<(), SendError> {
     if needle.is_empty() {
-        return;
+        return Ok(());
     }
     if let Some(off) = find_subslice(haystack, needle) {
         out.push(Annotation::Pointer {
             kind,
-            offset: off as u32,
-            length: needle.len() as u32,
+            offset: u32_of("pointer offset", off).map_err(SendError::Packet)?,
+            length: u32_of("pointer length", needle.len()).map_err(SendError::Packet)?,
         });
     }
+    Ok(())
 }
 
 /// Finds marshaled `SerializedIdentity` values inside `bytes` by decoding
@@ -516,6 +525,31 @@ mod tests {
             .annotations
             .iter()
             .any(|a| matches!(a, Annotation::Locator { .. })));
+    }
+
+    #[test]
+    fn oversized_block_rejected_not_wrapped() {
+        // 65536 transactions used to wrap total_txs to 0 and the
+        // section indices back onto 0..: the receiver would have seen a
+        // "complete" empty block and aliased sections. The count is now
+        // rejected before any section is built.
+        let block = fabric_protos::messages::Block {
+            header: Default::default(),
+            data: fabric_protos::messages::BlockData {
+                data: vec![Vec::new(); u16::MAX as usize + 1],
+            },
+            metadata: Default::default(),
+        };
+        let mut sender = BmacSender::new();
+        match sender.send_block(&block) {
+            Err(SendError::Packet(PacketError::TooLarge { what, value })) => {
+                assert_eq!(what, "transaction count");
+                assert_eq!(value, u16::MAX as usize + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // Stats stay untouched on the failure path.
+        assert_eq!(sender.stats().blocks, 0);
     }
 
     #[test]

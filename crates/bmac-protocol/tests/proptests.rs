@@ -122,6 +122,53 @@ proptest! {
         prop_assert_eq!(delivered, payloads);
     }
 
+    /// The ISSUE-4 wraparound gate: a sender/receiver pair whose
+    /// sequence numbers cross the `Seq::MAX → 0` boundary mid-stream,
+    /// under arbitrary loss in the initial window, must still deliver
+    /// every payload exactly once and in order — every half-range
+    /// comparison in ack handling, duplicate detection, and go-back
+    /// retransmission runs with operands on both sides of the wrap.
+    #[test]
+    fn go_back_n_survives_sequence_wraparound(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..16), 2..24),
+        drop_pattern in proptest::collection::vec(any::<bool>(), 48),
+        window in 1usize..8,
+        offset_below_wrap in 0u32..24,
+    ) {
+        let start = u32::MAX - offset_below_wrap;
+        let mut sender = GoBackNSender::with_initial_seq(window, start);
+        let mut receiver = GoBackNReceiver::expecting(start);
+        let mut delivered: Vec<Vec<u8>> = Vec::new();
+        let mut channel: std::collections::VecDeque<Vec<u8>> = Default::default();
+        for p in &payloads {
+            channel.extend(sender.send(p.clone()));
+        }
+        let mut step = 0usize;
+        let mut idle = 0;
+        while idle < drop_pattern.len() + 2 {
+            let before = delivered.len();
+            while let Some(wire) = channel.pop_front() {
+                let dropped = step < drop_pattern.len() && drop_pattern[step];
+                step += 1;
+                if dropped {
+                    continue;
+                }
+                let (inner, fb) = receiver.on_wire(&wire).unwrap();
+                if let Some(inner) = inner {
+                    delivered.push(inner);
+                }
+                channel.extend(sender.on_feedback(fb));
+            }
+            if sender.in_flight() > 0 {
+                channel.extend(sender.on_timeout());
+            }
+            idle = if delivered.len() > before { 0 } else { idle + 1 };
+        }
+        prop_assert_eq!(&delivered, &payloads);
+        prop_assert_eq!(receiver.expected(), start.wrapping_add(payloads.len() as u32));
+        prop_assert_eq!(sender.in_flight(), 0);
+    }
+
     #[test]
     fn receiver_acks_monotonically(
         seqs in proptest::collection::vec(any::<u8>(), 1..32),

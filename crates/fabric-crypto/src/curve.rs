@@ -6,7 +6,9 @@
 //! module. Points are manipulated in Jacobian coordinates over the
 //! backend-selectable base field from [`crate::field`] (Solinas fast
 //! reduction by default, generic Montgomery as the differential oracle);
-//! scalar arithmetic modulo the group order stays on [`crate::mont`].
+//! scalar arithmetic modulo the group order runs on the analogous
+//! switch in [`crate::scalar`] (Barrett fold by default, Montgomery as
+//! the oracle).
 //!
 //! The implementation favours clarity and auditability over side-channel
 //! hardening: this library signs only synthetic benchmark identities.
@@ -16,17 +18,18 @@ use std::sync::OnceLock;
 
 use crate::bigint::U256;
 use crate::field::{default_field_backend, FieldDomain};
-use crate::mont::MontgomeryDomain;
+use crate::scalar::{default_scalar_backend, ScalarDomain};
 
 /// Curve parameters: the backend-selectable base-field domain for `p`
-/// and the Montgomery scalar domain for `n`.
+/// and the backend-selectable scalar domain for `n`.
 #[derive(Debug)]
 pub struct CurveParams {
     /// Field domain (modulo the prime `p`). Coordinates stored in
     /// points are *representation residues* of this domain.
     pub fp: FieldDomain,
-    /// Scalar domain (modulo the group order `n`).
-    pub fn_: MontgomeryDomain,
+    /// Scalar domain (modulo the group order `n`). Scalars handled
+    /// through it are *representation residues* of this domain.
+    pub fn_: ScalarDomain,
     /// Curve coefficient `a = -3` (field representation).
     pub a: U256,
     /// Curve coefficient `b` (field representation).
@@ -41,9 +44,10 @@ pub struct CurveParams {
 
 /// Returns the process-wide P-256 parameter set.
 ///
-/// The base-field backend is resolved once here, on first use (see
-/// [`crate::field::default_field_backend`]); every process-wide table
-/// is built in that backend's representation.
+/// The base-field and scalar-field backends are resolved once here, on
+/// first use (see [`crate::field::default_field_backend`] and
+/// [`crate::scalar::default_scalar_backend`]); every process-wide table
+/// is built in the base-field backend's representation.
 pub fn p256() -> &'static CurveParams {
     static PARAMS: OnceLock<CurveParams> = OnceLock::new();
     PARAMS.get_or_init(|| {
@@ -59,7 +63,8 @@ pub fn p256() -> &'static CurveParams {
             .expect("p-256 gy literal");
         let fp = FieldDomain::p256(default_field_backend());
         assert_eq!(fp.modulus(), &p, "field backend must use the P-256 prime");
-        let fn_ = MontgomeryDomain::new(n);
+        let fn_ = ScalarDomain::p256_order(default_scalar_backend());
+        assert_eq!(fn_.modulus(), &n, "scalar backend must use the P-256 order");
         let three = fp.to_repr(&U256::from_u64(3));
         let a = fp.neg(&three);
         let b = fp.to_repr(&b);

@@ -20,10 +20,12 @@
 //!   `Q` and of `2^128·Q`, affine) so the double-scalar half needs only
 //!   ~128 shared doublings and ~42 mixed additions — endorser keys
 //!   repeat across every block, so the table amortizes immediately;
-//! * `s⁻¹ mod n` uses binary-Euclid inversion
-//!   ([`crate::mont::MontgomeryDomain::inv`]), or is amortized across a
-//!   whole block with [`batch_s_inverses`] (Montgomery's trick: one
-//!   inversion per block) and [`VerifyingKey::verify_prehashed_with_sinv`];
+//! * `s⁻¹ mod n` uses binary-Euclid inversion through the
+//!   backend-selectable scalar domain ([`crate::scalar::ScalarDomain`]:
+//!   Barrett-folded canonical arithmetic by default, Montgomery REDC as
+//!   the oracle), or is amortized across a whole block with
+//!   [`batch_s_inverses`] (Montgomery's trick: one inversion per block)
+//!   and [`VerifyingKey::verify_prehashed_with_sinv`];
 //! * the final `x(R) ≡ r (mod n)` comparison happens in projective
 //!   coordinates ([`JacobianPoint::eq_x_mod_order`]), eliminating the
 //!   second field inversion entirely.
@@ -239,16 +241,18 @@ impl SigningKey {
             if r.is_zero() {
                 continue;
             }
-            // s = k^-1 (z + r d) mod n, all in the Montgomery domain of n.
+            // s = k^-1 (z + r d) mod n, in the scalar domain's
+            // representation (canonical under Barrett, Montgomery form
+            // under the oracle backend).
             let fd = &c.fn_;
-            let km = fd.to_mont(&k);
+            let km = fd.to_repr(&k);
             let kinv = fd.inv(&km).expect("k nonzero");
-            let rm = fd.to_mont(&r);
-            let dm = fd.to_mont(&self.d);
-            let zm = fd.to_mont(&z);
+            let rm = fd.to_repr(&r);
+            let dm = fd.to_repr(&self.d);
+            let zm = fd.to_repr(&z);
             let rd = fd.mul(&rm, &dm);
             let sum = fd.add(&zm, &rd);
-            let s = fd.from_mont(&fd.mul(&kinv, &sum));
+            let s = fd.from_repr(&fd.mul(&kinv, &sum));
             if s.is_zero() {
                 continue;
             }
@@ -356,8 +360,8 @@ impl VerifyingKey {
             return Err(EcdsaError::InvalidScalar);
         }
         let fd = &c.fn_;
-        let sm = fd.to_mont(&sig.s);
-        let sinv = fd.from_mont(&fd.inv(&sm).expect("s nonzero"));
+        let sm = fd.to_repr(&sig.s);
+        let sinv = fd.from_repr(&fd.inv(&sm).expect("s nonzero"));
         self.verify_prehashed_with_sinv(digest, sig, &sinv)
     }
 
@@ -384,9 +388,9 @@ impl VerifyingKey {
         }
         let z = bits2int(digest, n);
         let fd = &c.fn_;
-        let sinv_m = fd.to_mont(sinv);
-        let u1 = fd.from_mont(&fd.mul(&sinv_m, &fd.to_mont(&z)));
-        let u2 = fd.from_mont(&fd.mul(&sinv_m, &fd.to_mont(&sig.r)));
+        let sinv_m = fd.to_repr(sinv);
+        let u1 = fd.from_repr(&fd.mul(&sinv_m, &fd.to_repr(&z)));
+        let u2 = fd.from_repr(&fd.mul(&sinv_m, &fd.to_repr(&sig.r)));
         let precomp = self.precomp.get_or_init(|| KeyPrecomp::build(&self.point));
         let rp = mul_fixed_base(&u1).add(&precomp.mul(&u2));
         if rp.eq_x_mod_order(&sig.r) {
@@ -418,10 +422,10 @@ impl VerifyingKey {
         }
         let z = U512::from_u256(&U256::from_be_bytes(digest)).rem(n);
         let fd = &c.fn_;
-        let sm = fd.to_mont(&sig.s);
+        let sm = fd.to_repr(&sig.s);
         let sinv = fd.inv_prime(&sm).expect("s nonzero");
-        let u1 = fd.from_mont(&fd.mul(&sinv, &fd.to_mont(&z)));
-        let u2 = fd.from_mont(&fd.mul(&sinv, &fd.to_mont(&sig.r)));
+        let u1 = fd.from_repr(&fd.mul(&sinv, &fd.to_repr(&z)));
+        let u2 = fd.from_repr(&fd.mul(&sinv, &fd.to_repr(&sig.r)));
         let g = AffinePoint::generator().to_jacobian();
         let q = self.point.to_jacobian();
         let rp = JacobianPoint::shamir(&u1, &g, &u2, &q);
@@ -454,14 +458,14 @@ pub fn batch_s_inverses(sigs: &[Signature]) -> Vec<U256> {
             if sig.s.is_zero() || &sig.s >= n {
                 U256::ZERO
             } else {
-                fd.to_mont(&sig.s)
+                fd.to_repr(&sig.s)
             }
         })
         .collect();
     fd.batch_inv(&mut values);
     for v in values.iter_mut() {
         if !v.is_zero() {
-            *v = fd.from_mont(v);
+            *v = fd.from_repr(v);
         }
     }
     values

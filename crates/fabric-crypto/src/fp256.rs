@@ -134,38 +134,13 @@ impl Fp256 {
         inv_mod_odd(a, &Self::P)
     }
 
-    /// Montgomery-trick batch inversion: every invertible element in
-    /// `values` is replaced by its inverse at the cost of a single field
-    /// inversion plus `3(n-1)` multiplications. The returned mask is
-    /// `true` where `values[i]` now holds an inverse; zeros are left
-    /// zero and reported `false` (with a prime modulus every nonzero
-    /// element is invertible).
+    /// Montgomery-trick batch inversion on the shared prime-field core
+    /// ([`crate::bigint::batch_inv_prime_field`]): every invertible
+    /// element in `values` is replaced by its inverse at the cost of a
+    /// single field inversion plus `3(n-1)` multiplications; the mask
+    /// is `true` where an inverse was written.
     pub fn batch_inv(&self, values: &mut [U256]) -> Vec<bool> {
-        let mask: Vec<bool> = values.iter().map(|v| !v.is_zero()).collect();
-        let mut prefix = Vec::with_capacity(values.len());
-        let mut acc = U256::ONE;
-        for (v, &ok) in values.iter().zip(&mask) {
-            if ok {
-                acc = self.mul(&acc, v);
-            }
-            prefix.push(acc);
-        }
-        if acc == U256::ONE && !mask.iter().any(|&ok| ok) {
-            return mask; // all zero: nothing to invert
-        }
-        let mut inv_acc = self
-            .inv(&acc)
-            .expect("product of nonzero elements mod a prime");
-        for i in (0..values.len()).rev() {
-            if !mask[i] {
-                continue;
-            }
-            let prev = if i == 0 { U256::ONE } else { prefix[i - 1] };
-            let inv_i = self.mul(&inv_acc, &prev);
-            inv_acc = self.mul(&inv_acc, &values[i]);
-            values[i] = inv_i;
-        }
-        mask
+        crate::bigint::batch_inv_prime_field(values, |a, b| self.mul(a, b), |a| self.inv(a))
     }
 }
 

@@ -4,14 +4,18 @@
 //! single generic Montgomery implementation serves field arithmetic (point
 //! operations) and scalar arithmetic (ECDSA). Montgomery multiplication is
 //! self-contained — no precomputed reduction identities to mistranscribe —
-//! and runs in a few dozen nanoseconds per multiply.
+//! and runs in a few dozen nanoseconds per multiply. The hot paths have
+//! since moved to specialized kernels ([`crate::fp256`] for the base
+//! field, [`crate::fq256`] for the scalar field); this module remains
+//! fully compiled as the differential-test oracle and A/B baseline for
+//! both.
 //!
 //! The only non-trivial setup constants, `R mod m` and `R² mod m`
 //! (`R = 2^256`), are derived at construction time with the slow-but-sure
 //! binary division from [`crate::bigint`], so a [`MontgomeryDomain`] can be
 //! built for any odd modulus without external tables.
 
-use crate::bigint::{inv_mod_odd, mac, U256, U512};
+use crate::bigint::{addmul_row, inv_mod_odd, propagate_carry, U256, U512};
 
 /// Precomputed context for Montgomery arithmetic modulo an odd `m < 2^256`.
 ///
@@ -233,19 +237,9 @@ impl MontgomeryDomain {
         a[..8].copy_from_slice(&t.0);
         for i in 0..4 {
             let u = a[i].wrapping_mul(self.n0);
-            // a += u * m << (64*i)
-            let mut carry = 0u64;
-            for j in 0..4 {
-                (a[i + j], carry) = mac(a[i + j], u, m[j], carry);
-            }
-            // propagate carry upward
-            let mut k = i + 4;
-            while carry != 0 {
-                let (sum, c) = a[k].overflowing_add(carry);
-                a[k] = sum;
-                carry = c as u64;
-                k += 1;
-            }
+            // a += u * m << (64*i), one shared row carry chain.
+            let carry = addmul_row(&mut a[i..i + 4], m, u);
+            propagate_carry(&mut a[i + 4..], carry);
         }
         let mut out = U256([a[4], a[5], a[6], a[7]]);
         // At most one final subtraction (a[8] can hold a carry bit).

@@ -1,0 +1,274 @@
+//! Backend-selectable P-256 scalar-field arithmetic (mod the group
+//! order `n`).
+//!
+//! The ECDSA layer ([`crate::ecdsa`]) does all of its mod-`n`
+//! arithmetic — `bits2int` folding, `s⁻¹` (single and Montgomery-
+//! batched), `u1`/`u2` derivation, RFC 6979 signing — through
+//! [`ScalarDomain`], which dispatches to one of two interchangeable
+//! implementations:
+//!
+//! * **Barrett** ([`crate::fq256`]) — the default: Barrett-folded
+//!   reduction with a precomputed `⌊2^512/n⌋` constant, operating on
+//!   canonical residues (entering/leaving the representation is free);
+//! * **Montgomery** ([`crate::mont`]) — the generic REDC arithmetic the
+//!   seed shipped with, operating on Montgomery residues. Kept fully
+//!   compiled and selectable so it serves as the *oracle* for the
+//!   differential test harness and as the A/B baseline in
+//!   `BENCH_validation.json`.
+//!
+//! This mirrors the base-field switch in [`crate::field`] exactly; the
+//! two are selected independently (`FABRIC_FIELD_BACKEND` for
+//! coordinates, `FABRIC_SCALAR_BACKEND` for scalars) and the CI matrix
+//! crosses them.
+//!
+//! # Selecting a backend
+//!
+//! The active backend is chosen once, when [`crate::curve::p256`] first
+//! initializes (signatures produced under either backend are
+//! bit-identical, but the choice is pinned per process for the same
+//! reason as the base field — one coherent parameter set):
+//!
+//! 1. the `FABRIC_SCALAR_BACKEND` environment variable
+//!    (`barrett` | `montgomery`) decides at startup;
+//! 2. otherwise the `montgomery-scalar-default` cargo feature makes
+//!    Montgomery the fallback for builds that want the oracle without
+//!    touching the environment;
+//! 3. otherwise Barrett.
+//!
+//! Values handled by a [`ScalarDomain`] are *representation residues*:
+//! canonical integers under Barrett, Montgomery residues under
+//! Montgomery. Convert at the boundary with
+//! [`to_repr`](ScalarDomain::to_repr) /
+//! [`from_repr`](ScalarDomain::from_repr) and never mix residues
+//! produced by different domains. All byte-level encodings (raw `r‖s`,
+//! DER, signature cache keys) go through `from_repr` first and are
+//! therefore backend-independent.
+
+use std::fmt;
+
+use crate::bigint::U256;
+use crate::fq256::Fq256;
+use crate::mont::MontgomeryDomain;
+
+/// Which scalar-field implementation a [`ScalarDomain`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarBackend {
+    /// Barrett-folded reduction on canonical residues.
+    Barrett,
+    /// Generic Montgomery (REDC) arithmetic on Montgomery residues.
+    Montgomery,
+}
+
+impl ScalarBackend {
+    /// Stable lowercase name, as used by `FABRIC_SCALAR_BACKEND` and the
+    /// benchmark JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScalarBackend::Barrett => "barrett",
+            ScalarBackend::Montgomery => "montgomery",
+        }
+    }
+}
+
+impl fmt::Display for ScalarBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resolves the backend the process should default to (see the module
+/// docs for precedence). An explicit `FABRIC_SCALAR_BACKEND` always
+/// wins — the benchmark's A/B re-exec relies on the env var flipping
+/// the child's backend regardless of how the binary was built — and
+/// the `montgomery-scalar-default` feature only changes the fallback
+/// when the env var is unset.
+///
+/// # Panics
+///
+/// Panics when `FABRIC_SCALAR_BACKEND` is set to an unknown value —
+/// silently falling back would make an A/B run measure the wrong thing.
+pub fn default_scalar_backend() -> ScalarBackend {
+    match std::env::var("FABRIC_SCALAR_BACKEND") {
+        Ok(v) if v.eq_ignore_ascii_case("barrett") => ScalarBackend::Barrett,
+        Ok(v) if v.eq_ignore_ascii_case("montgomery") => ScalarBackend::Montgomery,
+        Ok(other) => {
+            panic!("FABRIC_SCALAR_BACKEND must be \"barrett\" or \"montgomery\", got {other:?}")
+        }
+        Err(_) if cfg!(feature = "montgomery-scalar-default") => ScalarBackend::Montgomery,
+        Err(_) => ScalarBackend::Barrett,
+    }
+}
+
+/// P-256 scalar-field arithmetic behind a backend switch.
+///
+/// The API mirrors [`crate::field::FieldDomain`]: representation
+/// conversions are named `to_repr`/`from_repr` — REDC conversions under
+/// the Montgomery backend and (checked) no-ops under Barrett.
+#[derive(Debug, Clone)]
+pub enum ScalarDomain {
+    /// Barrett-folded arithmetic (canonical residues).
+    Barrett(Fq256),
+    /// Montgomery REDC arithmetic (Montgomery residues).
+    Montgomery(MontgomeryDomain),
+}
+
+impl ScalarDomain {
+    /// Builds the P-256 scalar field on the given backend.
+    pub fn p256_order(backend: ScalarBackend) -> Self {
+        match backend {
+            ScalarBackend::Barrett => ScalarDomain::Barrett(Fq256),
+            ScalarBackend::Montgomery => ScalarDomain::Montgomery(MontgomeryDomain::new(Fq256::N)),
+        }
+    }
+
+    /// The backend this domain dispatches to.
+    pub fn backend(&self) -> ScalarBackend {
+        match self {
+            ScalarDomain::Barrett(_) => ScalarBackend::Barrett,
+            ScalarDomain::Montgomery(_) => ScalarBackend::Montgomery,
+        }
+    }
+
+    /// The field modulus (the group order `n`).
+    pub fn modulus(&self) -> &U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.modulus(),
+            ScalarDomain::Montgomery(m) => m.modulus(),
+        }
+    }
+
+    /// The representation of `1`.
+    pub fn one(&self) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.one(),
+            ScalarDomain::Montgomery(m) => m.one(),
+        }
+    }
+
+    /// Converts a canonical integer `x < n` into the domain
+    /// representation (Montgomery form, or a checked pass-through).
+    pub fn to_repr(&self, x: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => {
+                debug_assert!(x < f.modulus());
+                *x
+            }
+            ScalarDomain::Montgomery(m) => m.to_mont(x),
+        }
+    }
+
+    /// Converts a representation residue back to a canonical integer.
+    pub fn from_repr(&self, x: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(_) => *x,
+            ScalarDomain::Montgomery(m) => m.from_mont(x),
+        }
+    }
+
+    /// Modular multiplication of two residues.
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.mul(a, b),
+            ScalarDomain::Montgomery(m) => m.mul(a, b),
+        }
+    }
+
+    /// Modular squaring of a residue.
+    pub fn sqr(&self, a: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.sqr(a),
+            ScalarDomain::Montgomery(m) => m.sqr(a),
+        }
+    }
+
+    /// Modular addition.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.add(a, b),
+            ScalarDomain::Montgomery(m) => m.add(a, b),
+        }
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.sub(a, b),
+            ScalarDomain::Montgomery(m) => m.sub(a, b),
+        }
+    }
+
+    /// Modular negation.
+    pub fn neg(&self, a: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.neg(a),
+            ScalarDomain::Montgomery(m) => m.neg(a),
+        }
+    }
+
+    /// Exponentiation of a residue by a plain integer exponent.
+    pub fn pow(&self, base: &U256, exp: &U256) -> U256 {
+        match self {
+            ScalarDomain::Barrett(f) => f.pow(base, exp),
+            ScalarDomain::Montgomery(m) => m.pow(base, exp),
+        }
+    }
+
+    /// Fermat inverse (`a^(n-2)`); `None` for zero.
+    pub fn inv_prime(&self, a: &U256) -> Option<U256> {
+        match self {
+            ScalarDomain::Barrett(f) => f.inv_prime(a),
+            ScalarDomain::Montgomery(m) => m.inv_prime(a),
+        }
+    }
+
+    /// Binary-Euclid inverse; `None` for zero.
+    pub fn inv(&self, a: &U256) -> Option<U256> {
+        match self {
+            ScalarDomain::Barrett(f) => f.inv(a),
+            ScalarDomain::Montgomery(m) => m.inv(a),
+        }
+    }
+
+    /// Montgomery-trick batch inversion, in place; the mask is `true`
+    /// where an inverse was written (see the backend docs).
+    pub fn batch_inv(&self, values: &mut [U256]) -> Vec<bool> {
+        match self {
+            ScalarDomain::Barrett(f) => f.batch_inv(values),
+            ScalarDomain::Montgomery(m) => m.batch_inv(values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both backends compute the same canonical results through the
+    /// uniform API (the exhaustive differential suite lives in
+    /// `tests/tests/crypto_differential.rs`).
+    #[test]
+    fn backends_agree_through_the_uniform_api() {
+        let bar = ScalarDomain::p256_order(ScalarBackend::Barrett);
+        let mon = ScalarDomain::p256_order(ScalarBackend::Montgomery);
+        let a = U256::from_u64(0xdead_beef);
+        let b = mon.modulus().wrapping_sub(&U256::from_u64(7));
+        for (x, y) in [(&a, &b), (&b, &a), (&a, &a), (&b, &b)] {
+            let via_bar = bar.from_repr(&bar.mul(&bar.to_repr(x), &bar.to_repr(y)));
+            let via_mon = mon.from_repr(&mon.mul(&mon.to_repr(x), &mon.to_repr(y)));
+            assert_eq!(via_bar, via_mon);
+        }
+        let inv_bar = bar.from_repr(&bar.inv(&bar.to_repr(&a)).unwrap());
+        let inv_mon = mon.from_repr(&mon.inv(&mon.to_repr(&a)).unwrap());
+        assert_eq!(inv_bar, inv_mon);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(ScalarBackend::Barrett.name(), "barrett");
+        assert_eq!(ScalarBackend::Montgomery.name(), "montgomery");
+        assert_eq!(
+            ScalarDomain::p256_order(ScalarBackend::Barrett).backend(),
+            ScalarBackend::Barrett
+        );
+    }
+}

@@ -82,11 +82,11 @@ proptest! {
     }
 
     #[test]
-    fn mont_inverse_is_inverse(a in arb_scalar()) {
+    fn scalar_inverse_is_inverse(a in arb_scalar()) {
         let dom = &p256().fn_;
-        let am = dom.to_mont(&a);
+        let am = dom.to_repr(&a);
         let inv = dom.inv_prime(&am).unwrap();
-        prop_assert_eq!(dom.from_mont(&dom.mul(&am, &inv)), U256::ONE);
+        prop_assert_eq!(dom.from_repr(&dom.mul(&am, &inv)), U256::ONE);
     }
 
     #[test]
@@ -192,8 +192,17 @@ proptest! {
     #[test]
     fn euclid_inverse_matches_fermat(a in arb_scalar()) {
         let dom = &p256().fn_;
-        let am = dom.to_mont(&a);
+        let am = dom.to_repr(&a);
         prop_assert_eq!(dom.inv(&am), dom.inv_prime(&am));
+    }
+
+    #[test]
+    fn barrett_scalar_reduction_matches_long_division(limbs in any::<[u64; 8]>()) {
+        let wide = U512(limbs);
+        prop_assert_eq!(
+            fabric_crypto::fq256::reduce_wide_scalar(&wide),
+            wide.rem(&fabric_crypto::fq256::Fq256::N)
+        );
     }
 
     #[test]

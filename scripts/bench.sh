@@ -5,6 +5,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 cargo run --release --bin bench_validation
+
+# The JSON must carry every tracked section; a refactor that silently
+# drops one would otherwise go unnoticed until the next perf review.
+for section in single_thread field_backend_ab scalar_backend_ab pipeline \
+               signature_cache block_stream; do
+  grep -q "\"$section\"" BENCH_validation.json \
+    || { echo "error: BENCH_validation.json lost the $section section" >&2; exit 1; }
+done
+
 echo
 echo "BENCH_validation.json:"
 cat BENCH_validation.json
