@@ -565,15 +565,39 @@ pub(crate) fn wnaf_digits(k: &U256, w: u32) -> Vec<i8> {
     digits
 }
 
-/// Lazily built fixed-base comb table for the generator:
-/// `windows[w][d-1] = d · 2^(8w) · G` for `w ∈ 0..32`, `d ∈ 1..=255`,
-/// all in affine form so [`JacobianPoint::add_mixed`] applies.
+/// Window width of the fixed-base comb table, in bits.
 ///
-/// With it, any `k·G` is at most 31 mixed additions and **zero**
-/// doublings — the radix-256 digits of `k` select one entry per window.
-/// The table is ~590 KiB and costs a few milliseconds once per process
-/// (8160 Jacobian additions plus one batched inversion); every ECDSA
-/// signature and the `u1·G` half of every verification then reuses it.
+/// The default 8-bit windows hold `32 × 255` precomputed points
+/// (~590 KiB resident) and make any `k·G` at most 31 mixed additions
+/// with **zero** doublings. The `comb-window-4` cargo feature shrinks
+/// the table to 4-bit windows — `64 × 15` points, ~68 KiB — for
+/// cache-constrained hosts, at the cost of up to 63 mixed additions per
+/// multiplication. Both shapes share the same build and digit-selection
+/// code below; `fixed_base_matches_windowed_mul` pins whichever is
+/// compiled against the generic windowed ladder. Footprints and the
+/// trade-off are tabulated in the crate README.
+pub const COMB_WINDOW_BITS: usize = if cfg!(feature = "comb-window-4") {
+    4
+} else {
+    8
+};
+
+/// Number of comb windows covering a 256-bit scalar.
+pub const COMB_WINDOWS: usize = 256 / COMB_WINDOW_BITS;
+
+/// Nonzero digit values per window (`2^w − 1`).
+pub const COMB_DIGITS: usize = (1 << COMB_WINDOW_BITS) - 1;
+
+/// Lazily built fixed-base comb table for the generator:
+/// `windows[w][d-1] = d · 2^(W·w) · G` for `w ∈ 0..COMB_WINDOWS`,
+/// `d ∈ 1..=COMB_DIGITS` (`W = COMB_WINDOW_BITS`), all in affine form
+/// so [`JacobianPoint::add_mixed`] applies.
+///
+/// With it, any `k·G` costs at most `COMB_WINDOWS − 1` mixed additions
+/// and **zero** doublings — the radix-`2^W` digits of `k` select one
+/// entry per window. The table is built once per process (one batched
+/// inversion over all entries); every ECDSA signature and the `u1·G`
+/// half of every verification then reuses it.
 struct FixedBaseTable {
     windows: Vec<Vec<AffinePoint>>,
 }
@@ -581,31 +605,33 @@ struct FixedBaseTable {
 fn fixed_base_table() -> &'static FixedBaseTable {
     static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
     TABLE.get_or_init(|| {
-        let mut flat: Vec<JacobianPoint> = Vec::with_capacity(32 * 255);
+        let mut flat: Vec<JacobianPoint> = Vec::with_capacity(COMB_WINDOWS * COMB_DIGITS);
         let mut base = AffinePoint::generator().to_jacobian();
-        for _ in 0..32 {
+        for _ in 0..COMB_WINDOWS {
             let mut acc = base;
-            for _ in 1..=255 {
+            for _ in 1..=COMB_DIGITS {
                 flat.push(acc);
                 acc = acc.add(&base);
             }
-            // acc is now 256·base: the next window's base.
+            // acc is now 2^W·base: the next window's base.
             base = acc;
         }
         let affine = JacobianPoint::batch_to_affine(&flat);
-        let windows = affine.chunks(255).map(|c| c.to_vec()).collect();
+        let windows = affine.chunks(COMB_DIGITS).map(|c| c.to_vec()).collect();
         FixedBaseTable { windows }
     })
 }
 
 /// Fixed-base scalar multiplication `k·G` via the precomputed comb
-/// table: one table lookup and mixed addition per nonzero radix-256
-/// digit of `k`, no doublings.
+/// table: one table lookup and mixed addition per nonzero
+/// radix-`2^W` digit of `k`, no doublings.
 pub fn mul_fixed_base(k: &U256) -> JacobianPoint {
     let table = fixed_base_table();
+    let mask = COMB_DIGITS as u64; // 2^W − 1
+    let per_limb = 64 / COMB_WINDOW_BITS;
     let mut acc = JacobianPoint::identity();
-    for w in 0..32 {
-        let digit = ((k.0[w / 8] >> ((w % 8) * 8)) & 0xff) as usize;
+    for w in 0..COMB_WINDOWS {
+        let digit = ((k.0[w / per_limb] >> ((w % per_limb) * COMB_WINDOW_BITS)) & mask) as usize;
         if digit != 0 {
             acc = acc.add_mixed(&table.windows[w][digit - 1]);
         }
@@ -720,6 +746,36 @@ mod tests {
         );
         assert!(mul_fixed_base(&n).is_identity());
         assert!(mul_fixed_base(&U256::ZERO).is_identity());
+    }
+
+    #[test]
+    fn comb_table_dimensions_match_the_active_window() {
+        // 8-bit windows: 32 × 255 entries; comb-window-4: 64 × 15. The
+        // digit loop, table build and these constants must agree.
+        assert_eq!(COMB_WINDOW_BITS * COMB_WINDOWS, 256);
+        assert_eq!(COMB_DIGITS, (1 << COMB_WINDOW_BITS) - 1);
+        let table = fixed_base_table();
+        assert_eq!(table.windows.len(), COMB_WINDOWS);
+        assert!(table.windows.iter().all(|w| w.len() == COMB_DIGITS));
+        // The comb identity: entry d of window w+1 is 2^W times entry d
+        // of window w (both are d·2^(W·w)·G scaled by the window base).
+        let g = AffinePoint::generator().to_jacobian();
+        let d = 3usize.min(COMB_DIGITS);
+        let mut expect = g.mul_scalar(&U256::from_u64(d as u64));
+        assert_eq!(
+            table.windows[0][d - 1].to_jacobian().to_affine(),
+            expect.to_affine()
+        );
+        for w in 1..3 {
+            for _ in 0..COMB_WINDOW_BITS {
+                expect = expect.double();
+            }
+            assert_eq!(
+                table.windows[w][d - 1].to_jacobian().to_affine(),
+                expect.to_affine(),
+                "window {w}"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,18 @@
 //! used for checking duplicates)" (paper §2.1.2/§2.1.3). The paper keeps
 //! ledger commit on the CPU in both peers — it is I/O-bound — so both the
 //! software validator and the BMac peer share this implementation.
+//!
+//! # Pluggable block stores
+//!
+//! Where committed blocks physically live is behind the [`BlockStore`]
+//! trait, following the crate convention set by the crypto backends: the
+//! in-memory [`MemoryBlockStore`] is the default *and* the differential
+//! oracle, and a durable implementation (`fabric-store`'s segmented
+//! store) plugs in via [`Ledger::with_store`]. Opening a ledger over an
+//! existing store is a *recovery*: the tx index and history database are
+//! rebuilt from the stored blocks and the whole hash chain — header
+//! links, data hashes, and the running commit hash — is re-verified, so
+//! a corrupted stored block is rejected at reopen with its block number.
 
 #![warn(missing_docs)]
 
@@ -16,7 +28,7 @@ use std::sync::Arc;
 
 use fabric_crypto::sha256::Sha256;
 use fabric_protos::messages::{metadata_index, Block};
-use fabric_protos::txflow::block_header_hash;
+use fabric_protos::txflow::{block_header_hash, decode_block_struct, hash_block_data};
 use parking_lot::Mutex;
 
 /// Transaction validation codes stored in the block's transactions filter
@@ -48,6 +60,19 @@ impl TxValidationCode {
         }
     }
 
+    /// Inverse of [`TxValidationCode::code`], used when reconstructing
+    /// validation flags from a stored transactions filter.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => TxValidationCode::Valid,
+            2 => TxValidationCode::BadPayload,
+            4 => TxValidationCode::BadSignature,
+            10 => TxValidationCode::EndorsementPolicyFailure,
+            11 => TxValidationCode::MvccReadConflict,
+            _ => return None,
+        })
+    }
+
     /// Whether this code marks the transaction valid.
     pub fn is_valid(self) -> bool {
         self == TxValidationCode::Valid
@@ -67,7 +92,129 @@ pub struct CommittedBlock {
     pub commit_hash: [u8; 32],
 }
 
-/// Errors appending to the ledger.
+impl CommittedBlock {
+    /// Reconstructs a committed block from a block whose metadata was
+    /// already stamped by [`Ledger::commit_block`] — the shape a durable
+    /// store reads back from disk (only the marshaled block is
+    /// persisted; filter, commit hash and header hash are re-derived).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the metadata slots do not carry a decodable
+    /// filter or a 32-byte commit hash.
+    pub fn from_stamped_block(block: Block) -> Result<Self, StoreError> {
+        let filter_bytes = &block.metadata.metadata[metadata_index::TRANSACTIONS_FILTER];
+        if filter_bytes.len() != block.data.data.len() {
+            return Err(StoreError::new("stored filter length != tx count"));
+        }
+        let tx_filter = filter_bytes
+            .iter()
+            .map(|&b| TxValidationCode::from_code(b))
+            .collect::<Option<Vec<_>>>()
+            .ok_or_else(|| StoreError::new("stored filter carries an unknown code"))?;
+        let commit_hash: [u8; 32] = block.metadata.metadata[metadata_index::COMMIT_HASH]
+            .as_slice()
+            .try_into()
+            .map_err(|_| StoreError::new("stored commit hash is not 32 bytes"))?;
+        let header_hash = block_header_hash(&block.header);
+        Ok(CommittedBlock {
+            block,
+            header_hash,
+            tx_filter,
+            commit_hash,
+        })
+    }
+}
+
+/// A block-store failure (I/O, framing, serialization). Carried inside
+/// [`LedgerError::Store`]; the message is diagnostic, not programmatic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError(String);
+
+impl StoreError {
+    /// Wraps a diagnostic message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        StoreError(msg.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block store error: {}", self.0)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Physical storage of committed blocks, append-only and numbered from
+/// zero. Implementations: [`MemoryBlockStore`] (default, also the
+/// differential oracle for the durable backend) and `fabric-store`'s
+/// segmented on-disk store.
+pub trait BlockStore: Send + fmt::Debug {
+    /// Number of stored blocks (the chain height).
+    fn len(&self) -> u64;
+
+    /// Whether the store holds no blocks.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads a block by number. `None` for out-of-range numbers *and*
+    /// for records that fail integrity checks — [`Ledger::with_store`]
+    /// turns a `None` inside the valid range into
+    /// [`LedgerError::Corrupt`] with the block number.
+    fn get(&self, number: u64) -> Option<CommittedBlock>;
+
+    /// Appends the next block. The caller ([`Ledger`]) guarantees
+    /// `block.block.header.number == self.len()`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure.
+    fn append(&mut self, block: &CommittedBlock) -> Result<(), StoreError>;
+
+    /// Forces buffered writes down to the backing medium (group-commit
+    /// boundary; a no-op for memory stores).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] on write failure.
+    fn flush(&mut self) -> Result<(), StoreError>;
+}
+
+/// The default in-memory block store.
+#[derive(Debug, Default)]
+pub struct MemoryBlockStore {
+    blocks: Vec<CommittedBlock>,
+}
+
+impl MemoryBlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemoryBlockStore::default()
+    }
+}
+
+impl BlockStore for MemoryBlockStore {
+    fn len(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn get(&self, number: u64) -> Option<CommittedBlock> {
+        self.blocks.get(number as usize).cloned()
+    }
+
+    fn append(&mut self, block: &CommittedBlock) -> Result<(), StoreError> {
+        self.blocks.push(block.clone());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+/// Errors appending to (or recovering) the ledger.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LedgerError {
     /// The block number is not `height()`.
@@ -83,6 +230,14 @@ pub enum LedgerError {
     Duplicate(u64),
     /// The tx filter length does not match the block's tx count.
     FilterMismatch,
+    /// The underlying block store failed.
+    Store(StoreError),
+    /// A stored block failed integrity verification at recovery: hash
+    /// chain, data hash, commit-hash chain, or record-level checks.
+    Corrupt {
+        /// Number of the offending block.
+        block: u64,
+    },
 }
 
 impl fmt::Display for LedgerError {
@@ -99,22 +254,53 @@ impl fmt::Display for LedgerError {
                     "validation filter length does not match transaction count"
                 )
             }
+            LedgerError::Store(e) => write!(f, "{e}"),
+            LedgerError::Corrupt { block } => {
+                write!(f, "stored block {block} failed integrity verification")
+            }
         }
     }
 }
 
 impl std::error::Error for LedgerError {}
 
+impl From<StoreError> for LedgerError {
+    fn from(e: StoreError) -> Self {
+        LedgerError::Store(e)
+    }
+}
+
+/// Cached facts about the chain tip so commits never re-read the store.
+#[derive(Debug, Clone, Copy)]
+struct TipInfo {
+    header_hash: [u8; 32],
+    commit_hash: [u8; 32],
+}
+
 /// The append-only block store + index. Thread-safe and cheaply clonable
 /// (clones share the chain).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Ledger {
     inner: Arc<Mutex<LedgerInner>>,
 }
 
-#[derive(Debug, Default)]
+impl Default for Ledger {
+    fn default() -> Self {
+        Ledger {
+            inner: Arc::new(Mutex::new(LedgerInner {
+                store: Box::new(MemoryBlockStore::new()),
+                tip: None,
+                tx_index: HashMap::new(),
+                history: HistoryDb::new(),
+            })),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct LedgerInner {
-    blocks: Vec<CommittedBlock>,
+    store: Box<dyn BlockStore>,
+    tip: Option<TipInfo>,
     /// Block index: tx_id -> (block number, tx index); used for duplicate
     /// detection on commit.
     tx_index: HashMap<String, (u64, usize)>,
@@ -122,14 +308,67 @@ struct LedgerInner {
 }
 
 impl Ledger {
-    /// Creates an empty ledger.
+    /// Creates an empty in-memory ledger.
     pub fn new() -> Self {
         Ledger::default()
     }
 
+    /// Opens a ledger over an existing block store — the recovery path.
+    ///
+    /// Every stored block is decoded and the whole chain re-verified
+    /// (header-hash links, data hashes, and the running commit hash)
+    /// while the tx index and history database are rebuilt, so a bad
+    /// block is pinned to its number instead of surfacing later as a
+    /// mystery chain break.
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::Corrupt`] with the offending block number when a
+    /// stored block is missing, undecodable, or fails any chain check.
+    pub fn with_store(store: Box<dyn BlockStore>) -> Result<Self, LedgerError> {
+        let mut tx_index = HashMap::new();
+        let mut history = HistoryDb::new();
+        let mut tip: Option<TipInfo> = None;
+        let mut prev_header = [0u8; 32];
+        let mut prev_commit = [0u8; 32];
+        for number in 0..store.len() {
+            let corrupt = || LedgerError::Corrupt { block: number };
+            let cb = store.get(number).ok_or_else(corrupt)?;
+            (prev_header, prev_commit) =
+                verify_stored_block(number, &prev_header, &prev_commit, &cb)
+                    .map_err(|block| LedgerError::Corrupt { block })?;
+            let block = &cb.block;
+            let decoded =
+                decode_block_struct(block, block.marshal().len()).map_err(|_| corrupt())?;
+            if decoded.txs.len() != cb.tx_filter.len() {
+                return Err(corrupt());
+            }
+            for (i, tx) in decoded.txs.iter().enumerate() {
+                tx_index.insert(tx.tx_id.clone(), (number, i));
+                if cb.tx_filter[i] == TxValidationCode::Valid {
+                    for (key, _) in &tx.writes {
+                        history.record(key, number, i as u64);
+                    }
+                }
+            }
+            tip = Some(TipInfo {
+                header_hash: cb.header_hash,
+                commit_hash: cb.commit_hash,
+            });
+        }
+        Ok(Ledger {
+            inner: Arc::new(Mutex::new(LedgerInner {
+                store,
+                tip,
+                tx_index,
+                history,
+            })),
+        })
+    }
+
     /// Current chain height (number of the next block).
     pub fn height(&self) -> u64 {
-        self.inner.lock().blocks.len() as u64
+        self.inner.lock().store.len()
     }
 
     /// Number of the next block this ledger will accept — the streaming
@@ -142,13 +381,13 @@ impl Ledger {
     /// Hash of the chain tip's header, or zeros for an empty chain.
     pub fn tip_hash(&self) -> [u8; 32] {
         let g = self.inner.lock();
-        g.blocks.last().map(|b| b.header_hash).unwrap_or([0u8; 32])
+        g.tip.map(|t| t.header_hash).unwrap_or([0u8; 32])
     }
 
     /// Running commit hash at the tip (zeros for an empty chain).
     pub fn tip_commit_hash(&self) -> [u8; 32] {
         let g = self.inner.lock();
-        g.blocks.last().map(|b| b.commit_hash).unwrap_or([0u8; 32])
+        g.tip.map(|t| t.commit_hash).unwrap_or([0u8; 32])
     }
 
     /// Commits a validated block: stamps the transactions filter and
@@ -160,7 +399,7 @@ impl Ledger {
     /// # Errors
     ///
     /// Any [`LedgerError`] variant: out-of-order blocks, chain breaks,
-    /// duplicates, or a filter length mismatch.
+    /// duplicates, a filter length mismatch, or a store write failure.
     pub fn commit_block(
         &self,
         mut block: Block,
@@ -169,7 +408,7 @@ impl Ledger {
         modified_keys: &[Vec<String>],
     ) -> Result<CommittedBlock, LedgerError> {
         let mut g = self.inner.lock();
-        let expected = g.blocks.len() as u64;
+        let expected = g.store.len();
         if block.header.number != expected {
             return Err(if block.header.number < expected {
                 LedgerError::Duplicate(block.header.number)
@@ -180,8 +419,8 @@ impl Ledger {
                 }
             });
         }
-        let tip = g.blocks.last().map(|b| b.header_hash).unwrap_or([0u8; 32]);
-        if block.header.previous_hash != tip {
+        let tip_hash = g.tip.map(|t| t.header_hash).unwrap_or([0u8; 32]);
+        if block.header.previous_hash != tip_hash {
             return Err(LedgerError::BrokenChain);
         }
         if tx_filter.len() != block.data.data.len() || tx_ids.len() != tx_filter.len() {
@@ -189,35 +428,41 @@ impl Ledger {
         }
 
         let filter_bytes: Vec<u8> = tx_filter.iter().map(|c| c.code()).collect();
-        let prev_commit = g.blocks.last().map(|b| b.commit_hash).unwrap_or([0u8; 32]);
+        let prev_commit = g.tip.map(|t| t.commit_hash).unwrap_or([0u8; 32]);
         let commit_hash = compute_commit_hash(&prev_commit, &block, &filter_bytes);
         block.metadata.metadata[metadata_index::TRANSACTIONS_FILTER] = filter_bytes;
         block.metadata.metadata[metadata_index::COMMIT_HASH] = commit_hash.to_vec();
 
         let header_hash = block_header_hash(&block.header);
-        for (i, tx_id) in tx_ids.iter().enumerate() {
-            g.tx_index.insert(tx_id.clone(), (expected, i));
-        }
-        for (i, keys) in modified_keys.iter().enumerate() {
-            if tx_filter[i] == TxValidationCode::Valid {
-                for key in keys {
-                    g.history.record(key, expected, i as u64);
-                }
-            }
-        }
         let committed = CommittedBlock {
             block,
             header_hash,
             tx_filter,
             commit_hash,
         };
-        g.blocks.push(committed.clone());
+        // Store write first: if it fails the indexes stay untouched and
+        // the commit is cleanly rejected.
+        g.store.append(&committed)?;
+        for (i, tx_id) in tx_ids.iter().enumerate() {
+            g.tx_index.insert(tx_id.clone(), (expected, i));
+        }
+        for (i, keys) in modified_keys.iter().enumerate() {
+            if committed.tx_filter[i] == TxValidationCode::Valid {
+                for key in keys {
+                    g.history.record(key, expected, i as u64);
+                }
+            }
+        }
+        g.tip = Some(TipInfo {
+            header_hash,
+            commit_hash,
+        });
         Ok(committed)
     }
 
     /// Fetches a committed block by number.
     pub fn block(&self, number: u64) -> Option<CommittedBlock> {
-        self.inner.lock().blocks.get(number as usize).cloned()
+        self.inner.lock().store.get(number)
     }
 
     /// Looks up which block and position committed `tx_id` (the duplicate
@@ -231,18 +476,65 @@ impl Ledger {
         self.inner.lock().history.of(key)
     }
 
-    /// Verifies the whole hash chain; returns the first bad link.
+    /// Flushes the underlying block store (the durable group-commit
+    /// boundary; a no-op for the in-memory store).
+    ///
+    /// # Errors
+    ///
+    /// [`LedgerError::Store`] on write failure.
+    pub fn flush(&self) -> Result<(), LedgerError> {
+        self.inner.lock().store.flush().map_err(LedgerError::Store)
+    }
+
+    /// Verifies the whole chain — header-hash links, data hashes, and
+    /// the running commit hash — and returns the first bad block. The
+    /// per-block check is [`verify_stored_block`], the same one
+    /// [`Ledger::with_store`] runs (with index rebuilding) at recovery.
     pub fn verify_chain(&self) -> Result<(), u64> {
         let g = self.inner.lock();
-        let mut prev = [0u8; 32];
-        for cb in g.blocks.iter() {
-            if cb.block.header.previous_hash != prev {
-                return Err(cb.block.header.number);
-            }
-            prev = cb.header_hash;
+        let mut prev_header = [0u8; 32];
+        let mut prev_commit = [0u8; 32];
+        for number in 0..g.store.len() {
+            let cb = g.store.get(number).ok_or(number)?;
+            (prev_header, prev_commit) =
+                verify_stored_block(number, &prev_header, &prev_commit, &cb)?;
         }
         Ok(())
     }
+}
+
+/// Verifies one stored block against the chain cursor: header number,
+/// previous-hash link, data hash, recomputed header hash, and the
+/// running commit hash (both the recomputation and the stamped
+/// metadata slots). Shared by [`Ledger::with_store`] and
+/// [`Ledger::verify_chain`] so the recovery and audit paths can never
+/// drift apart. Returns the `(header_hash, commit_hash)` cursor for
+/// the next block, or the offending block number.
+fn verify_stored_block(
+    number: u64,
+    prev_header: &[u8; 32],
+    prev_commit: &[u8; 32],
+    cb: &CommittedBlock,
+) -> Result<([u8; 32], [u8; 32]), u64> {
+    let block = &cb.block;
+    if block.header.number != number
+        || block.header.previous_hash != *prev_header
+        || block.header.data_hash != hash_block_data(&block.data)
+    {
+        return Err(number);
+    }
+    if block_header_hash(&block.header) != cb.header_hash {
+        return Err(number);
+    }
+    let filter_bytes: Vec<u8> = cb.tx_filter.iter().map(|c| c.code()).collect();
+    let commit_hash = compute_commit_hash(prev_commit, block, &filter_bytes);
+    if commit_hash != cb.commit_hash
+        || block.metadata.metadata[metadata_index::COMMIT_HASH] != commit_hash
+        || block.metadata.metadata[metadata_index::TRANSACTIONS_FILTER] != filter_bytes
+    {
+        return Err(number);
+    }
+    Ok((cb.header_hash, cb.commit_hash))
 }
 
 /// Running commit hash: `sha256(prev ++ header ++ filter)`. Both peer
@@ -435,5 +727,112 @@ mod tests {
             .unwrap();
         assert_eq!(ledger.key_history("a"), vec![(0, 0)]);
         assert!(ledger.key_history("b").is_empty());
+    }
+
+    /// Builds a two-block chain and returns its memory store.
+    fn committed_two_block_store() -> (MemoryBlockStore, Ledger) {
+        let ledger = Ledger::new();
+        let (b0, ids0) = make_block(0, [0u8; 32], 2);
+        ledger
+            .commit_block(
+                b0,
+                &ids0,
+                vec![TxValidationCode::Valid, TxValidationCode::MvccReadConflict],
+                &[vec!["k0_0".into()], vec!["k0_1".into()]],
+            )
+            .unwrap();
+        let (b1, ids1) = make_block(1, ledger.tip_hash(), 1);
+        ledger
+            .commit_block(
+                b1,
+                &ids1,
+                vec![TxValidationCode::Valid],
+                &[vec!["k1_0".into()]],
+            )
+            .unwrap();
+        let mut store = MemoryBlockStore::new();
+        for n in 0..ledger.height() {
+            store.append(&ledger.block(n).unwrap()).unwrap();
+        }
+        (store, ledger)
+    }
+
+    #[test]
+    fn with_store_rebuilds_indexes_and_tip() {
+        let (store, original) = committed_two_block_store();
+        let reopened = Ledger::with_store(Box::new(store)).unwrap();
+        assert_eq!(reopened.height(), 2);
+        assert_eq!(reopened.tip_hash(), original.tip_hash());
+        assert_eq!(reopened.tip_commit_hash(), original.tip_commit_hash());
+        // tx index and history were rebuilt from the stored blocks.
+        let decoded =
+            fabric_protos::txflow::decode_block(&original.block(1).unwrap().block.marshal())
+                .unwrap();
+        assert_eq!(
+            reopened.find_tx(&decoded.txs[0].tx_id),
+            Some((1, 0)),
+            "tx index rebuilt"
+        );
+        assert_eq!(reopened.key_history("k1_0"), vec![(1, 0)]);
+        // Invalid tx of block 0 must NOT be in history.
+        assert!(reopened.key_history("k0_1").is_empty());
+        assert!(reopened.verify_chain().is_ok());
+        // And the reopened chain keeps accepting blocks.
+        let (b2, ids2) = make_block(2, reopened.tip_hash(), 1);
+        reopened
+            .commit_block(b2, &ids2, vec![TxValidationCode::Valid], &[vec![]])
+            .unwrap();
+        assert_eq!(reopened.height(), 3);
+    }
+
+    #[test]
+    fn with_store_rejects_tampered_block_with_its_number() {
+        let (mut store, _) = committed_two_block_store();
+        // Flip one byte inside block 1's first envelope: the data hash
+        // no longer matches, and recovery must name block 1.
+        store.blocks[1].block.data.data[0][0] ^= 0x40;
+        match Ledger::with_store(Box::new(store)) {
+            Err(LedgerError::Corrupt { block }) => assert_eq!(block, 1),
+            other => panic!("expected Corrupt{{block: 1}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn with_store_rejects_tampered_filter_with_its_number() {
+        let (mut store, _) = committed_two_block_store();
+        // Flip a validation flag: the commit-hash chain breaks at block 0.
+        store.blocks[0].tx_filter[1] = TxValidationCode::Valid;
+        store.blocks[0].block.metadata.metadata[metadata_index::TRANSACTIONS_FILTER] =
+            vec![0u8, 0u8];
+        match Ledger::with_store(Box::new(store)) {
+            Err(LedgerError::Corrupt { block }) => assert_eq!(block, 0),
+            other => panic!("expected Corrupt{{block: 0}}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stamped_block_roundtrips_committed_block() {
+        let (store, _) = committed_two_block_store();
+        for n in 0..store.len() {
+            let cb = store.get(n).unwrap();
+            let rebuilt = CommittedBlock::from_stamped_block(cb.block.clone()).unwrap();
+            assert_eq!(rebuilt.header_hash, cb.header_hash);
+            assert_eq!(rebuilt.tx_filter, cb.tx_filter);
+            assert_eq!(rebuilt.commit_hash, cb.commit_hash);
+        }
+    }
+
+    #[test]
+    fn validation_codes_roundtrip_through_bytes() {
+        for code in [
+            TxValidationCode::Valid,
+            TxValidationCode::BadPayload,
+            TxValidationCode::BadSignature,
+            TxValidationCode::EndorsementPolicyFailure,
+            TxValidationCode::MvccReadConflict,
+        ] {
+            assert_eq!(TxValidationCode::from_code(code.code()), Some(code));
+        }
+        assert_eq!(TxValidationCode::from_code(255), None);
     }
 }

@@ -191,17 +191,61 @@ impl ValidatorPipeline {
         workers: usize,
         cache_capacity: usize,
     ) -> Self {
+        Self::with_storage(
+            msp,
+            policies,
+            workers,
+            cache_capacity,
+            StateDb::new(),
+            Ledger::new(),
+        )
+    }
+
+    /// Creates a validator over *existing* storage handles — the durable
+    /// mode: pass the state database and ledger recovered by
+    /// `fabric_store::FabricStore::open` and the peer resumes the chain
+    /// where it left off (the streaming validator picks its first block
+    /// number up from `ledger.next_block_number()`). With a journal
+    /// attached to the state database and a durable block store under
+    /// the ledger, a block is acknowledged only after its store write:
+    /// the commit stage writes state batches (journaled write-ahead) and
+    /// appends to the block store before reporting the block committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_storage(
+        msp: Msp,
+        policies: HashMap<String, Policy>,
+        workers: usize,
+        cache_capacity: usize,
+        state_db: StateDb,
+        ledger: Ledger,
+    ) -> Self {
         assert!(workers > 0, "at least one vscc worker required");
         ValidatorPipeline {
             msp,
             policies,
-            state_db: StateDb::new(),
-            ledger: Ledger::new(),
+            state_db,
+            ledger,
             workers,
             verifications: AtomicUsize::new(0),
             sig_cache: SignatureCache::new(cache_capacity),
             cert_cache: std::sync::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Flushes the storage layer (state journal, then block store) — the
+    /// durable group-commit boundary. A no-op on in-memory storage.
+    ///
+    /// # Errors
+    ///
+    /// [`ValidateError::Ledger`] when the block store flush fails.
+    pub fn flush_storage(&self) -> Result<(), ValidateError> {
+        // Journal first: the write-ahead ordering must hold across the
+        // two files, so state records are never the missing half.
+        self.state_db.flush_journal();
+        self.ledger.flush().map_err(ValidateError::Ledger)
     }
 
     /// Memoized [`Msp::validate`]: the chain check (an ECDSA

@@ -329,10 +329,16 @@ impl StreamValidator {
             .expect("finish called once")
             .join()
             .expect("commit sequencer panicked");
+        // Durable mode: every committed block (the whole stream, or the
+        // serial prefix below a failure) is flushed through the state
+        // journal and block store before the session reports back — the
+        // stream's group-commit boundary.
+        let flushed = self.shared.pipeline.flush_storage();
         let mut st = self.shared.state.lock().expect("stream state poisoned");
         if let Some(e) = st.error.take() {
             return Err(e);
         }
+        flushed.map_err(StreamError::Validate)?;
         let results = std::mem::take(&mut st.results);
         let serial_sum_us: u64 = results
             .iter()

@@ -112,6 +112,28 @@ impl Extend<(String, Option<Vec<u8>>)> for WriteBatch {
     }
 }
 
+/// A write-ahead journal attached to a [`StateDb`].
+///
+/// When a sink is attached (see [`StateDb::attach_journal`]), every
+/// [`StateDb::apply`] forwards the batch and height to the sink *before*
+/// mutating the in-memory map — the write-ahead ordering a durable
+/// backend (`fabric-store`'s state journal) needs so that any state a
+/// reader can observe is also recoverable from the journal. Empty
+/// batches are journaled too: recovery counts one record per valid
+/// transaction, including transactions with empty write sets.
+///
+/// Sinks must be infallible from the caller's perspective; a durable
+/// implementation that cannot write its journal should panic rather
+/// than let commits proceed unlogged.
+pub trait JournalSink: Send + Sync + std::fmt::Debug {
+    /// Records one batch at its commit height, before it becomes
+    /// visible in memory.
+    fn record(&self, batch: &WriteBatch, height: Height);
+    /// Forces buffered journal bytes down to the backing medium (the
+    /// group-commit boundary).
+    fn flush(&self);
+}
+
 /// Statistics counters for a state database.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StateDbStats {
@@ -150,12 +172,47 @@ struct Inner {
     /// writes land in strictly increasing block order (the invariant the
     /// streaming commit sequencer exists to preserve).
     tip: Option<Height>,
+    /// Optional write-ahead journal; [`StateDb::apply`] forwards every
+    /// batch here before mutating the map.
+    journal: Option<Arc<dyn JournalSink>>,
 }
 
 impl StateDb {
     /// Creates an empty database.
     pub fn new() -> Self {
         StateDb::default()
+    }
+
+    /// Rebuilds a database from a checkpoint snapshot: the entries of a
+    /// previous [`StateDb::snapshot`] plus the tip height recorded with
+    /// it. The journal replay that follows a snapshot restore continues
+    /// from this tip.
+    pub fn from_snapshot(entries: Vec<(String, VersionedValue)>, tip: Option<Height>) -> Self {
+        StateDb {
+            inner: Arc::new(RwLock::new(Inner {
+                map: entries.into_iter().collect(),
+                stats: StateDbStats::default(),
+                tip,
+                journal: None,
+            })),
+        }
+    }
+
+    /// Attaches a write-ahead journal sink. Every subsequent
+    /// [`StateDb::apply`] records to the sink before touching the map.
+    /// Attach *after* recovery replay so replayed batches are not
+    /// re-journaled.
+    pub fn attach_journal(&self, sink: Arc<dyn JournalSink>) {
+        self.inner.write().journal = Some(sink);
+    }
+
+    /// Flushes the attached journal (a no-op without one): the durable
+    /// group-commit boundary.
+    pub fn flush_journal(&self) {
+        let sink = self.inner.read().journal.clone();
+        if let Some(sink) = sink {
+            sink.flush();
+        }
     }
 
     /// Point read of the current value and version.
@@ -174,9 +231,28 @@ impl StateDb {
         self.get(key).map(|v| v.version)
     }
 
-    /// Applies a write batch, stamping every entry at `height`.
+    /// Applies a write batch, stamping every entry at `height`. With a
+    /// journal attached the batch is recorded first (write-ahead), under
+    /// the same lock that orders the in-memory apply — so the journal's
+    /// record order is exactly the apply order. Sinks must not call back
+    /// into this database.
     pub fn apply(&self, batch: &WriteBatch, height: Height) {
         let mut g = self.inner.write();
+        if let Some(journal) = &g.journal {
+            journal.record(batch, height);
+        }
+        Self::apply_locked(&mut g, batch, height);
+    }
+
+    /// Re-applies a journaled batch during recovery: identical to
+    /// [`StateDb::apply`] except the batch is *never* forwarded to an
+    /// attached journal (replaying must not re-journal).
+    pub fn replay(&self, batch: &WriteBatch, height: Height) {
+        let mut g = self.inner.write();
+        Self::apply_locked(&mut g, batch, height);
+    }
+
+    fn apply_locked(g: &mut Inner, batch: &WriteBatch, height: Height) {
         g.tip = Some(match g.tip {
             Some(tip) => tip.max(height),
             None => height,
@@ -550,6 +626,76 @@ mod tests {
     fn default_capacity_matches_paper() {
         let db = BoundedStateDb::default();
         assert_eq!(db.capacity(), 8192);
+    }
+
+    type RecordedBatch = (Vec<(String, Option<Vec<u8>>)>, Height);
+
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        records: parking_lot::Mutex<Vec<RecordedBatch>>,
+        flushes: std::sync::atomic::AtomicUsize,
+    }
+
+    impl JournalSink for RecordingSink {
+        fn record(&self, batch: &WriteBatch, height: Height) {
+            self.records.lock().push((
+                batch
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.map(|b| b.to_vec())))
+                    .collect(),
+                height,
+            ));
+        }
+
+        fn flush(&self) {
+            self.flushes
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn journal_sink_sees_every_apply_including_empty_batches() {
+        let db = StateDb::new();
+        let sink = Arc::new(RecordingSink::default());
+        db.attach_journal(sink.clone());
+        let mut b = WriteBatch::new();
+        b.put("a", vec![1]);
+        db.apply(&b, Height::new(1, 0));
+        // Empty batches must be journaled too: recovery counts one
+        // record per valid transaction.
+        db.apply(&WriteBatch::new(), Height::new(1, 1));
+        let records = sink.records.lock();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].1, Height::new(1, 0));
+        assert_eq!(records[1].0.len(), 0);
+        drop(records);
+        db.flush_journal();
+        assert_eq!(sink.flushes.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn replay_does_not_rejournal() {
+        let db = StateDb::new();
+        let sink = Arc::new(RecordingSink::default());
+        db.attach_journal(sink.clone());
+        let mut b = WriteBatch::new();
+        b.put("a", vec![1]);
+        db.replay(&b, Height::new(3, 0));
+        assert!(sink.records.lock().is_empty(), "replay must not journal");
+        assert_eq!(db.get("a").unwrap().version, Height::new(3, 0));
+        assert_eq!(db.tip_height(), Some(Height::new(3, 0)));
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_values_and_tip() {
+        let db = StateDb::new();
+        let mut b = WriteBatch::new();
+        b.put("a", vec![1]);
+        b.put("b", vec![2]);
+        db.apply(&b, Height::new(4, 1));
+        let restored = StateDb::from_snapshot(db.snapshot(), db.tip_height());
+        assert_eq!(restored.snapshot(), db.snapshot());
+        assert_eq!(restored.tip_height(), Some(Height::new(4, 1)));
     }
 
     #[test]
