@@ -89,6 +89,8 @@ fn main() {
 
     json.object("durability", bench_durability());
 
+    json.object("cluster", bench_cluster());
+
     let path = out_path();
     std::fs::write(&path, json.finish()).expect("write BENCH_validation.json");
     println!("\nwrote {}", path.display());
@@ -1059,6 +1061,140 @@ fn bench_durability() -> JsonObject {
          durable leg is gated on recovered state == in-memory state)"
     );
     out.array("group_commit_sweep", group_objs);
+    out
+}
+
+/// Closed-loop cluster numbers: the `fabric-cluster` harness (orderer →
+/// adaptive retransmission → lossy links → Go-Back-N/BMac → durable
+/// streaming validators) run at 0%/1%/5% per-link loss, plus a
+/// kill-and-rejoin leg. Latencies are *simulated* milliseconds (the
+/// harness runs on `fabric-sim` virtual time, so they are
+/// host-independent); retransmission counts and the rejoin catch-up
+/// time are the robustness-cost metrics. Every leg is gated on
+/// bit-identical convergence with the serial-replay oracle and on the
+/// supervisor staying inside its retransmission-storm cap — a bench run
+/// doubles as a correctness check.
+fn bench_cluster() -> JsonObject {
+    use fabric_cluster::{
+        run_with_oracle, ClusterConfig, FaultPlan, KillPoint, LinkFaults, SerialOracle,
+    };
+    use fabric_sim::{as_millis, MILLIS};
+    use workload::{StreamScenario, Workload};
+
+    heading("cluster: closed-loop fault harness (3 peers, sim time)");
+    let scenario = StreamScenario {
+        workload: Workload::Smallbank,
+        accounts: 4,
+        block_size: 4,
+        num_blocks: 8,
+        stale_commit_pct: 25,
+        corrupt_sigs: 1,
+        duplicate_txs: 1,
+        seed: 31,
+    };
+    // One serial-replay oracle (the ECDSA-heavy part) shared by every leg.
+    let oracle = SerialOracle::build(&scenario);
+
+    let tmp = |tag: &str| {
+        std::env::temp_dir().join(format!("bmac-bench-cluster-{tag}-{}", std::process::id()))
+    };
+    let run_leg = |tag: &str, plan: &FaultPlan| {
+        let dir = tmp(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ClusterConfig::new(&dir, scenario);
+        let report = run_with_oracle(&cfg, plan, &oracle);
+        report.assert_converged();
+        assert!(
+            report.within_storm_cap(),
+            "cluster bench leg '{tag}' blew the retransmission-storm cap"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        report
+    };
+
+    let mut out = JsonObject::new();
+    out.number("peers", 3.0);
+    out.number("blocks", oracle.height() as f64);
+
+    // Loss sweep: the e2e commit-latency and retransmission cost of the
+    // adaptive ARQ as the links degrade.
+    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
+    for loss in [0u8, 1, 5] {
+        let mut report = run_leg(
+            &format!("loss{loss}"),
+            &FaultPlan {
+                default_link: LinkFaults::lossy(loss, 1000 + loss as u64),
+                ..FaultPlan::default()
+            },
+        );
+        let p50 = report.delivery_latency_ms.percentile(50.0);
+        let p99 = report.delivery_latency_ms.percentile(99.0);
+        let retrans = report.total_retransmissions();
+        rows.push(vec![
+            format!("{loss}% loss"),
+            format!("{p50:.3} ms"),
+            format!("{p99:.3} ms"),
+            format!("{retrans}"),
+            format!("{:.2} ms", as_millis(report.sim_duration)),
+        ]);
+        let mut o = JsonObject::new();
+        o.number("loss_pct", loss as f64);
+        o.number("delivery_p50_ms", p50);
+        o.number("delivery_p99_ms", p99);
+        o.number("retransmissions", retrans as f64);
+        o.number("sim_ms", as_millis(report.sim_duration));
+        sweep.push(o);
+    }
+    table(
+        &[
+            "link",
+            "delivery p50",
+            "delivery p99",
+            "retransmits",
+            "sim wall",
+        ],
+        &rows,
+    );
+    out.array("loss_sweep", sweep);
+
+    // Kill-and-rejoin under 5% loss: what a crash costs the cluster.
+    let mut report = run_leg(
+        "rejoin",
+        &FaultPlan {
+            default_link: LinkFaults::lossy(5, 77),
+            kills: vec![KillPoint {
+                peer: 1,
+                after_packets: 10,
+                rejoin_after: Some(15 * MILLIS),
+            }],
+            ..FaultPlan::default()
+        },
+    );
+    let catchup_ms = report
+        .catchup
+        .iter()
+        .map(|t| as_millis(*t))
+        .fold(0.0, f64::max);
+    let mut rejoin = JsonObject::new();
+    rejoin.number("loss_pct", 5.0);
+    rejoin.number(
+        "rejoins",
+        report.peers.iter().map(|p| p.rejoins).sum::<u32>() as f64,
+    );
+    rejoin.number("catchup_ms", catchup_ms);
+    rejoin.number("retransmissions", report.total_retransmissions() as f64);
+    rejoin.number(
+        "delivery_p99_ms",
+        report.delivery_latency_ms.percentile(99.0),
+    );
+    rejoin.number("sim_ms", as_millis(report.sim_duration));
+    out.object("kill_rejoin", rejoin);
+    println!(
+        "kill+rejoin @5% loss: caught back up {catchup_ms:.2} ms after restart, \
+         {} retransmissions total (every leg audited bit-identical to the serial oracle)",
+        report.total_retransmissions()
+    );
     out
 }
 

@@ -58,5 +58,7 @@ pub mod sender;
 pub use cache::IdentityCache;
 pub use packet::{Annotation, BmacPacket, FieldKind, PacketError, SectionType};
 pub use receiver::{BmacReceiver, ExtractedTx, ReceiveError, ReceivedBlock, VerificationRequest};
-pub use retransmit::{Feedback, GoBackNReceiver, GoBackNSender};
+pub use retransmit::{
+    Feedback, GoBackNReceiver, GoBackNSender, RetransmitError, RetransmitSupervisor, RtoPolicy, Seq,
+};
 pub use sender::{BmacSender, SendError, SenderStats};

@@ -12,6 +12,18 @@
 //! The scheme wraps the base protocol: sequence numbers ride in a small
 //! trailer appended to the encoded packet, so the inner BMac wire format
 //! is untouched and the hardware parse path stays cut-through.
+//!
+//! Timer policy: the bare [`GoBackNSender::on_timeout`] is caller-driven
+//! and retransmits forever. Production links wrap the sender in a
+//! [`RetransmitSupervisor`], which owns the retransmission *clock*: a
+//! configurable base RTO, bounded exponential backoff with deterministic
+//! jitter ([`RtoPolicy`]), NACK-storm suppression (at most one go-back
+//! per in-flight window until the base advances), and a
+//! max-retransmissions circuit breaker that surfaces
+//! [`RetransmitError::PeerUnreachable`] instead of retransmitting into a
+//! dead peer forever. Time is an abstract `u64` supplied by the caller
+//! (wall-clock nanoseconds, or `fabric-sim` virtual time), so the policy
+//! is fully deterministic and testable.
 
 use std::collections::VecDeque;
 
@@ -125,6 +137,18 @@ impl GoBackNSender {
         self.in_flight.len()
     }
 
+    /// Oldest unacknowledged sequence number (the retransmission point).
+    pub fn base(&self) -> Seq {
+        self.base
+    }
+
+    /// Packets accepted but not yet transmittable (window full). This is
+    /// the queue a backpressure-aware caller bounds: when the backlog
+    /// grows, shed load at the source instead of queueing more.
+    pub fn backlog(&self) -> usize {
+        self.queued.len()
+    }
+
     fn go_back(&mut self, from: Seq) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
         for (seq, wire) in &self.in_flight {
@@ -219,6 +243,372 @@ impl GoBackNReceiver {
     /// Next expected sequence number.
     pub fn expected(&self) -> Seq {
         self.expected
+    }
+}
+
+/// Errors surfaced by the [`RetransmitSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetransmitError {
+    /// The circuit breaker tripped: `attempts` consecutive timeouts
+    /// passed without the window base advancing. The peer is treated as
+    /// unreachable; no further retransmissions will be generated until a
+    /// fresh connection is established.
+    PeerUnreachable {
+        /// The sequence number the window was stuck at.
+        base: Seq,
+        /// Consecutive timeout attempts burned before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for RetransmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RetransmitError::PeerUnreachable { base, attempts } => write!(
+                f,
+                "peer unreachable: window stuck at seq {base} after {attempts} timeouts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RetransmitError {}
+
+/// Retransmission timer policy: base RTO, bounded exponential backoff,
+/// deterministic jitter, and the circuit-breaker threshold.
+///
+/// Time units are whatever the caller feeds the supervisor — the policy
+/// only adds and compares them. The defaults read as nanoseconds (2 ms
+/// base, 128 ms ceiling), matching both `std::time` and `fabric-sim`.
+#[derive(Debug, Clone, Copy)]
+pub struct RtoPolicy {
+    /// Retransmission timeout for the first attempt.
+    pub base_rto: u64,
+    /// Backoff ceiling: the RTO never exceeds this, however many
+    /// attempts pile up.
+    pub max_rto: u64,
+    /// Consecutive timeouts (without base progress) tolerated before
+    /// the breaker trips with [`RetransmitError::PeerUnreachable`].
+    pub max_retries: u32,
+    /// Jitter as a percentage of the current RTO (0–100): each armed
+    /// deadline is stretched by a deterministic pseudo-random fraction
+    /// of up to this much, decorrelating retransmission bursts across
+    /// links without sacrificing reproducibility.
+    pub jitter_pct: u8,
+    /// Seed for the deterministic jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for RtoPolicy {
+    fn default() -> Self {
+        RtoPolicy {
+            base_rto: 2_000_000,  // 2 ms
+            max_rto: 128_000_000, // 128 ms
+            max_retries: 6,
+            jitter_pct: 20,
+            jitter_seed: 0x6B4E,
+        }
+    }
+}
+
+impl RtoPolicy {
+    /// The un-jittered RTO for the `attempt`-th consecutive timeout
+    /// (attempt 0 = the timer armed right after a send): `base_rto`
+    /// doubled per attempt, saturating at `max_rto`.
+    pub fn rto(&self, attempt: u32) -> u64 {
+        let doubled = self
+            .base_rto
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        doubled.min(self.max_rto)
+    }
+
+    /// The jittered RTO actually armed: [`RtoPolicy::rto`] plus a
+    /// deterministic pseudo-random stretch of up to `jitter_pct`% of it.
+    /// Same `(seed, base, attempt)` → same deadline, always.
+    pub fn rto_with_jitter(&self, attempt: u32, base: Seq) -> u64 {
+        let rto = self.rto(attempt);
+        let span = rto / 100 * u64::from(self.jitter_pct.min(100));
+        if span == 0 {
+            return rto;
+        }
+        let h = splitmix64(self.jitter_seed ^ (u64::from(base) << 32) ^ u64::from(attempt));
+        rto + h % (span + 1)
+    }
+
+    /// The retransmission-storm cap for a window of `window` packets:
+    /// the most packets the supervisor can retransmit between two base
+    /// advances. One NACK-triggered go-back plus `max_retries + 1`
+    /// timer-driven go-backs, each of at most a full window, and then
+    /// the breaker trips — the supervisor enforces this by construction
+    /// and callers assert the observed episode maximum against it.
+    pub fn storm_cap(&self, window: usize) -> u64 {
+        (u64::from(self.max_retries) + 2) * window as u64
+    }
+}
+
+/// SplitMix64: a tiny, well-distributed hash for deterministic jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Adaptive retransmission supervisor: a [`GoBackNSender`] plus the
+/// timer state machine described by an [`RtoPolicy`].
+///
+/// Callers drive it with three entry points, each taking the current
+/// time: [`RetransmitSupervisor::send`] (new traffic),
+/// [`RetransmitSupervisor::on_feedback`] (acks/nacks from the peer) and
+/// [`RetransmitSupervisor::poll`] (clock advance; fires the timer when
+/// the armed deadline passes). The supervisor distinguishes two
+/// retransmission triggers:
+///
+/// * **NACKs** prove the peer is alive, so they never count toward the
+///   circuit breaker — but a single loss inside a full window produces a
+///   NACK per delivered successor, so only the *first* NACK per stuck
+///   base triggers a go-back; the rest are suppressed until either the
+///   base advances or the timer fires (`suppressed_nacks` counts them).
+/// * **Timeouts** back off exponentially and, after
+///   [`RtoPolicy::max_retries`] consecutive failures, trip the breaker:
+///   [`RetransmitError::PeerUnreachable`].
+///
+/// The combination bounds retransmissions per stuck window to
+/// [`RtoPolicy::storm_cap`]; the observed per-episode maximum is
+/// exported as [`RetransmitSupervisor::max_episode_retransmissions`].
+#[derive(Debug)]
+pub struct RetransmitSupervisor {
+    inner: GoBackNSender,
+    policy: RtoPolicy,
+    /// Consecutive timeouts since the base last advanced.
+    attempts: u32,
+    /// Absolute time the armed timer fires; `None` while idle.
+    deadline: Option<u64>,
+    /// A go-back already ran for the current base; further NACKs are
+    /// suppressed until progress or timer expiry.
+    repair_in_flight: bool,
+    /// Packets retransmitted since the base last advanced.
+    episode_retransmissions: u64,
+    max_episode_retransmissions: u64,
+    suppressed_nacks: u64,
+    timeouts: u64,
+    unreachable: bool,
+}
+
+impl RetransmitSupervisor {
+    /// Wraps a fresh sender (sequence 0) with `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn new(window: usize, policy: RtoPolicy) -> Self {
+        Self::with_initial_seq(window, 0, policy)
+    }
+
+    /// Wraps a fresh sender starting at sequence `start` (see
+    /// [`GoBackNSender::with_initial_seq`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `window == 0`.
+    pub fn with_initial_seq(window: usize, start: Seq, policy: RtoPolicy) -> Self {
+        RetransmitSupervisor {
+            inner: GoBackNSender::with_initial_seq(window, start),
+            policy,
+            attempts: 0,
+            deadline: None,
+            repair_in_flight: false,
+            episode_retransmissions: 0,
+            max_episode_retransmissions: 0,
+            suppressed_nacks: 0,
+            timeouts: 0,
+            unreachable: false,
+        }
+    }
+
+    /// Queues a wire packet at time `now`; returns packets to transmit.
+    /// Arms the timer if it was idle.
+    pub fn send(&mut self, now: u64, wire: Vec<u8>) -> Vec<Vec<u8>> {
+        let out = self.inner.send(wire);
+        self.arm_if_needed(now);
+        out
+    }
+
+    /// Handles receiver feedback at time `now`; returns packets to
+    /// (re)transmit. Base progress resets the backoff and the episode;
+    /// redundant NACKs for the same stuck base are suppressed.
+    pub fn on_feedback(&mut self, now: u64, fb: Feedback) -> Vec<Vec<u8>> {
+        if self.unreachable {
+            return Vec::new();
+        }
+        match fb {
+            Feedback::Ack { .. } => {
+                let before = self.inner.base();
+                let out = self.inner.on_feedback(fb);
+                if self.inner.base() != before {
+                    self.note_progress();
+                }
+                self.rearm(now);
+                out
+            }
+            Feedback::Nack { expected } => {
+                // The ack half of a NACK still advances the base.
+                let before = self.inner.base();
+                let acked = self.inner.on_feedback(Feedback::Ack { next: expected });
+                if self.inner.base() != before {
+                    self.note_progress();
+                }
+                if self.repair_in_flight {
+                    self.suppressed_nacks += 1;
+                    self.rearm(now);
+                    return acked;
+                }
+                let mut out = acked;
+                out.extend(self.inner.on_feedback(Feedback::Nack { expected }));
+                self.episode_retransmissions += out.len() as u64;
+                self.max_episode_retransmissions = self
+                    .max_episode_retransmissions
+                    .max(self.episode_retransmissions);
+                self.repair_in_flight = true;
+                // A NACK proves liveness: restart the current-RTO timer,
+                // but do not escalate the backoff attempt counter.
+                self.deadline = (self.inner.in_flight() > 0).then(|| {
+                    now + self
+                        .policy
+                        .rto_with_jitter(self.attempts, self.inner.base())
+                });
+                out
+            }
+        }
+    }
+
+    /// Advances the clock. When the armed deadline has passed with the
+    /// window still un-acked, retransmits it and backs off; after
+    /// [`RtoPolicy::max_retries`] consecutive timeouts the breaker
+    /// trips.
+    ///
+    /// # Errors
+    ///
+    /// [`RetransmitError::PeerUnreachable`] once the breaker trips (and
+    /// on every later poll — the connection is dead until replaced).
+    pub fn poll(&mut self, now: u64) -> Result<Vec<Vec<u8>>, RetransmitError> {
+        if self.unreachable {
+            return Err(RetransmitError::PeerUnreachable {
+                base: self.inner.base(),
+                attempts: self.attempts,
+            });
+        }
+        if self.inner.in_flight() == 0 {
+            self.deadline = None;
+            return Ok(Vec::new());
+        }
+        let Some(deadline) = self.deadline else {
+            self.arm_if_needed(now);
+            return Ok(Vec::new());
+        };
+        if now < deadline {
+            return Ok(Vec::new());
+        }
+        if self.attempts >= self.policy.max_retries {
+            self.unreachable = true;
+            self.deadline = None;
+            return Err(RetransmitError::PeerUnreachable {
+                base: self.inner.base(),
+                attempts: self.attempts,
+            });
+        }
+        self.attempts += 1;
+        self.timeouts += 1;
+        let out = self.inner.on_timeout();
+        self.episode_retransmissions += out.len() as u64;
+        self.max_episode_retransmissions = self
+            .max_episode_retransmissions
+            .max(self.episode_retransmissions);
+        self.repair_in_flight = true;
+        self.deadline = Some(
+            now + self
+                .policy
+                .rto_with_jitter(self.attempts, self.inner.base()),
+        );
+        Ok(out)
+    }
+
+    fn note_progress(&mut self) {
+        self.attempts = 0;
+        self.episode_retransmissions = 0;
+        self.repair_in_flight = false;
+    }
+
+    fn arm_if_needed(&mut self, now: u64) {
+        if self.deadline.is_none() && self.inner.in_flight() > 0 {
+            self.deadline = Some(
+                now + self
+                    .policy
+                    .rto_with_jitter(self.attempts, self.inner.base()),
+            );
+        }
+    }
+
+    fn rearm(&mut self, now: u64) {
+        self.deadline = (self.inner.in_flight() > 0).then(|| {
+            now + self
+                .policy
+                .rto_with_jitter(self.attempts, self.inner.base())
+        });
+    }
+
+    /// The absolute time the timer next fires, if armed. Event-driven
+    /// callers schedule a wakeup here and call
+    /// [`RetransmitSupervisor::poll`].
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.deadline
+    }
+
+    /// The breaker has tripped; the connection is dead.
+    pub fn is_unreachable(&self) -> bool {
+        self.unreachable
+    }
+
+    /// Total packets retransmitted over the connection's lifetime.
+    pub fn retransmissions(&self) -> u64 {
+        self.inner.retransmissions()
+    }
+
+    /// Unacknowledged packets in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight()
+    }
+
+    /// Packets queued behind the window (the backpressure signal).
+    pub fn backlog(&self) -> usize {
+        self.inner.backlog()
+    }
+
+    /// Timer expirations fired.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// NACKs ignored because a repair for the same base was already in
+    /// flight.
+    pub fn suppressed_nacks(&self) -> u64 {
+        self.suppressed_nacks
+    }
+
+    /// Most packets retransmitted within any single stuck-base episode —
+    /// never exceeds [`RetransmitSupervisor::storm_cap`].
+    pub fn max_episode_retransmissions(&self) -> u64 {
+        self.max_episode_retransmissions
+    }
+
+    /// The policy's storm cap for this sender's window.
+    pub fn storm_cap(&self) -> u64 {
+        self.policy.storm_cap(self.inner.window)
+    }
+
+    /// Consecutive timeouts since the base last advanced.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
     }
 }
 
@@ -461,5 +851,210 @@ mod tests {
             start.wrapping_add(packets.len() as Seq)
         );
         assert_eq!(sender.in_flight(), 0);
+    }
+
+    fn test_policy() -> RtoPolicy {
+        RtoPolicy {
+            base_rto: 1_000,
+            max_rto: 8_000,
+            max_retries: 3,
+            jitter_pct: 0,
+            jitter_seed: 9,
+        }
+    }
+
+    /// Backoff schedule boundaries: attempt 0 = base, doubling per
+    /// attempt, clamped at the ceiling, saturating far past it.
+    #[test]
+    fn backoff_schedule_doubles_and_clamps() {
+        let p = test_policy();
+        assert_eq!(p.rto(0), 1_000);
+        assert_eq!(p.rto(1), 2_000);
+        assert_eq!(p.rto(2), 4_000);
+        assert_eq!(p.rto(3), 8_000);
+        assert_eq!(p.rto(4), 8_000, "clamped at max_rto");
+        assert_eq!(p.rto(63), 8_000);
+        assert_eq!(p.rto(64), 8_000, "shift overflow saturates, not wraps");
+        assert_eq!(p.rto(u32::MAX), 8_000);
+        // Degenerate ceiling below base: max wins immediately.
+        let tight = RtoPolicy {
+            max_rto: 500,
+            ..test_policy()
+        };
+        assert_eq!(tight.rto(0), 500);
+    }
+
+    /// Jitter is deterministic (same inputs → same deadline) and bounded
+    /// by `jitter_pct` of the un-jittered RTO.
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RtoPolicy {
+            jitter_pct: 25,
+            ..test_policy()
+        };
+        for attempt in 0..6 {
+            for base in [0, 1, 7, Seq::MAX] {
+                let a = p.rto_with_jitter(attempt, base);
+                let b = p.rto_with_jitter(attempt, base);
+                assert_eq!(a, b, "deterministic");
+                let rto = p.rto(attempt);
+                assert!(a >= rto, "jitter only stretches");
+                assert!(a <= rto + rto / 100 * 25, "jitter bounded");
+            }
+        }
+        // Different bases decorrelate.
+        let spread: std::collections::HashSet<u64> =
+            (0..32).map(|b| p.rto_with_jitter(1, b)).collect();
+        assert!(spread.len() > 1, "jitter actually varies");
+        // jitter_pct 0 disables it exactly.
+        assert_eq!(test_policy().rto_with_jitter(2, 42), 4_000);
+    }
+
+    /// Circuit breaker: a dead peer (no feedback ever) burns exactly
+    /// `max_retries` timeouts with backed-off spacing, then every poll
+    /// reports `PeerUnreachable` and nothing is retransmitted again.
+    #[test]
+    fn circuit_breaker_trips_after_max_retries() {
+        let p = test_policy();
+        let mut sup = RetransmitSupervisor::new(4, p);
+        let mut now = 0u64;
+        let sent = sup.send(now, pkt(0));
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sup.next_deadline(), Some(1_000));
+        let mut fired = 0u32;
+        loop {
+            now = sup.next_deadline().expect("armed while in flight");
+            match sup.poll(now) {
+                Ok(out) => {
+                    assert_eq!(out.len(), 1, "whole window retransmitted");
+                    fired += 1;
+                    // Next deadline is the *backed-off* RTO out.
+                    assert_eq!(sup.next_deadline(), Some(now + p.rto(fired)));
+                }
+                Err(RetransmitError::PeerUnreachable { base, attempts }) => {
+                    assert_eq!(base, 0);
+                    assert_eq!(attempts, p.max_retries);
+                    break;
+                }
+            }
+        }
+        assert_eq!(fired, p.max_retries, "retries before the breaker");
+        assert!(sup.is_unreachable());
+        assert!(sup.poll(now + 1_000_000).is_err(), "stays tripped");
+        assert_eq!(
+            sup.on_feedback(now, Feedback::Nack { expected: 0 }),
+            Vec::<Vec<u8>>::new()
+        );
+        assert!(sup.retransmissions() <= sup.storm_cap());
+        assert_eq!(sup.max_episode_retransmissions(), sup.retransmissions());
+    }
+
+    /// Ack progress resets the backoff: after two timeouts, one ack
+    /// brings the next RTO back to the base value.
+    #[test]
+    fn progress_resets_the_backoff() {
+        let p = test_policy();
+        let mut sup = RetransmitSupervisor::new(2, p);
+        sup.send(0, pkt(0));
+        sup.send(0, pkt(1));
+        let mut now = sup.next_deadline().unwrap();
+        sup.poll(now).unwrap();
+        now = sup.next_deadline().unwrap();
+        sup.poll(now).unwrap();
+        assert_eq!(sup.attempts(), 2);
+        // Packet 0 finally acked: backoff resets, timer re-arms at base
+        // RTO for the still-outstanding packet 1.
+        let out = sup.on_feedback(now, Feedback::Ack { next: 1 });
+        assert!(out.is_empty(), "window had nothing queued");
+        assert_eq!(sup.attempts(), 0);
+        assert_eq!(sup.in_flight(), 1);
+        assert_eq!(sup.next_deadline(), Some(now + p.rto(0)));
+        assert_eq!(
+            sup.max_episode_retransmissions(),
+            4,
+            "2 timeouts × window 2"
+        );
+        // Everything acked: the timer disarms.
+        sup.on_feedback(now, Feedback::Ack { next: 2 });
+        assert_eq!(sup.next_deadline(), None);
+        assert!(sup.poll(now + 1).unwrap().is_empty());
+    }
+
+    /// One loss inside a full window produces a NACK per delivered
+    /// successor; only the first triggers a go-back, the rest are
+    /// suppressed until the base advances — the storm control.
+    #[test]
+    fn redundant_nacks_are_suppressed() {
+        let window = 6;
+        let mut sup = RetransmitSupervisor::new(window, test_policy());
+        let mut wires = Vec::new();
+        for i in 0..window as u8 {
+            wires.extend(sup.send(0, pkt(i)));
+        }
+        assert_eq!(wires.len(), window);
+        // Packet 0 lost: the receiver NACKs each of the 5 successors.
+        let mut receiver = GoBackNReceiver::new();
+        let mut retransmitted = 0usize;
+        for wire in &wires[1..] {
+            let (inner, fb) = receiver.on_wire(wire).unwrap();
+            assert!(inner.is_none());
+            retransmitted += sup.on_feedback(1, fb).len();
+        }
+        assert_eq!(
+            retransmitted, window,
+            "exactly one full-window go-back for the burst of NACKs"
+        );
+        assert_eq!(sup.suppressed_nacks() as usize, window - 2);
+        assert!(sup.max_episode_retransmissions() <= sup.storm_cap());
+    }
+
+    /// End-to-end under deterministic loss with a virtual clock: the
+    /// supervised link delivers everything in order, the breaker never
+    /// trips, and no episode exceeds the storm cap.
+    #[test]
+    fn supervised_lossy_channel_delivers_within_the_storm_cap() {
+        let policy = RtoPolicy {
+            base_rto: 1_000,
+            max_rto: 16_000,
+            max_retries: 6,
+            jitter_pct: 30,
+            jitter_seed: 77,
+        };
+        let window = 4;
+        let mut sup = RetransmitSupervisor::new(window, policy);
+        let mut receiver = GoBackNReceiver::new();
+        let packets: Vec<Vec<u8>> = (0..30).map(pkt).collect();
+        let mut delivered = Vec::new();
+        let mut now = 0u64;
+        let mut channel: VecDeque<Vec<u8>> = VecDeque::new();
+        let mut step = 0usize;
+        for p in &packets {
+            channel.extend(sup.send(now, p.clone()));
+        }
+        while sup.in_flight() > 0 || sup.backlog() > 0 {
+            now += 100;
+            if let Some(wire) = channel.pop_front() {
+                step += 1;
+                if step.is_multiple_of(5) {
+                    // 20% deterministic loss, co-prime with the window so
+                    // the stuck base never aligns with the drop pattern.
+                    continue;
+                }
+                let (inner, fb) = receiver.on_wire(&wire).unwrap();
+                if let Some(inner) = inner {
+                    delivered.push(inner);
+                }
+                if !step.is_multiple_of(7) {
+                    // feedback channel is lossy too
+                    channel.extend(sup.on_feedback(now, fb));
+                }
+            } else {
+                channel.extend(sup.poll(now).expect("peer is alive"));
+            }
+            assert!(now < 10_000_000, "link failed to converge");
+        }
+        assert_eq!(delivered, packets);
+        assert!(sup.max_episode_retransmissions() <= sup.storm_cap());
+        assert!(sup.timeouts() > 0, "loss actually exercised the timer");
     }
 }

@@ -66,6 +66,32 @@ mod tests {
         }
     }
 
+    /// Truncation-audit regression (the PR 4 class): the segment/frame
+    /// counts here are computed in usize space end to end. Pin the exact
+    /// wire-byte arithmetic at the u16 boundary, where a narrowing cast
+    /// in the segment count would wrap and silently under-report
+    /// overhead for multi-megabyte blocks.
+    #[test]
+    fn wire_byte_arithmetic_is_exact_across_the_u16_boundary() {
+        for block_bytes in [65_535usize, 65_536, 100_000_000] {
+            let app = block_bytes + GOSSIP_WRAPPER;
+            let frames = app.div_ceil(16 * 1024);
+            let with_frames = app + frames * GRPC_FRAME_OVERHEAD;
+            let segments = with_frames.div_ceil(MTU - 40);
+            assert_eq!(
+                gossip_wire_bytes(block_bytes),
+                with_frames + segments * TCP_IP_ETH_HEADERS,
+                "block_bytes={block_bytes}"
+            );
+            // A 100 MB block needs > 2^16 − 1 TCP segments: the overhead
+            // must keep growing linearly, which a u16 segment count
+            // could not express.
+            if block_bytes == 100_000_000 {
+                assert!(segments > usize::from(u16::MAX));
+            }
+        }
+    }
+
     #[test]
     fn overhead_fraction_shrinks_with_block_size() {
         let small = gossip_overhead_fraction(1_000);

@@ -137,13 +137,23 @@ impl FabricNetworkBuilder {
         );
         let clients = (0..self.clients)
             .map(|i| {
-                let ident = msp
-                    .issue(
-                        (i as u8) % self.orgs.max(1),
-                        Role::Client,
-                        (i / self.orgs.max(1) as usize) as u8,
+                // Round-robin clients across orgs in usize space: the old
+                // `(i as u8) % orgs` truncated i BEFORE the modulo, so in
+                // a network with ≥ 17 orgs client 256 wrapped back to
+                // org 0 and silently *collided* with an earlier client's
+                // identity (the PR 4 truncation class). The remainder
+                // fits u8 because orgs does; the per-org sequence is a
+                // 4-bit protocol field, so exhausting it must be a loud
+                // error naming the capacity, not a wrap.
+                let orgs = usize::from(self.orgs.max(1));
+                let org = (i % orgs) as u8;
+                let seq = u8::try_from(i / orgs).expect("seq bounded by issue() below");
+                let ident = msp.issue(org, Role::Client, seq).unwrap_or_else(|e| {
+                    panic!(
+                        "client {i} does not fit the identity scheme \
+                         ({orgs} orgs × 16 client slots): {e}"
                     )
-                    .expect("issue client");
+                });
                 Client::new(ident, self.channel.clone(), self.seed ^ (i as u64) << 16)
             })
             .collect();
@@ -334,6 +344,40 @@ mod tests {
             .build();
         n.install_chaincode(|| Box::new(KvChaincode::new("kv")));
         n
+    }
+
+    /// Regression (PR 4 truncation class): client→org assignment must
+    /// round-robin in usize space. The old `(i as u8) % orgs` truncated
+    /// the client index first, so in a 20-org network client 256 wrapped
+    /// to org 0 and client 256 reused the identity already issued to
+    /// client 240 — two clients silently signing as the same node.
+    #[test]
+    fn client_org_assignment_survives_the_u8_boundary() {
+        let net = FabricNetworkBuilder::new()
+            .orgs(20)
+            .clients(280)
+            .chaincode("kv", parse("2-outof-2 orgs").unwrap())
+            .build();
+        let mut seen = std::collections::HashSet::new();
+        for (i, client) in net.clients.iter().enumerate() {
+            let id = client.identity().node_id();
+            assert_eq!(id.org, (i % 20) as u8, "client {i} org untruncated");
+            assert_eq!(id.seq, (i / 20) as u8, "client {i} seq");
+            assert!(seen.insert(id), "client {i} reuses identity {id}");
+        }
+    }
+
+    /// The per-org client sequence is a 4-bit protocol field; exceeding
+    /// 16 clients per org must fail loudly, naming the capacity — never
+    /// wrap into a colliding identity.
+    #[test]
+    #[should_panic(expected = "does not fit the identity scheme")]
+    fn client_overflow_per_org_is_a_loud_error() {
+        let _ = FabricNetworkBuilder::new()
+            .orgs(2)
+            .clients(33) // 17 for org 0: seq 16 does not fit 4 bits
+            .chaincode("kv", parse("2-outof-2 orgs").unwrap())
+            .build();
     }
 
     #[test]

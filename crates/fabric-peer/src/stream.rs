@@ -372,6 +372,45 @@ impl StreamValidator {
         Ok(StreamReport { results, stats })
     }
 
+    /// Aborts the session mid-flight, simulating a crash: pending blocks
+    /// are discarded, in-progress stage work is allowed to finish (the
+    /// threads are joined), and — unlike [`StreamValidator::finish`] —
+    /// storage is deliberately **not** flushed. In durable mode the
+    /// on-disk tail is whatever the group-commit boundaries already made
+    /// durable: possibly *torn* (the state journal and the block store
+    /// flushed at independent boundaries), but always recoverable —
+    /// `fabric_store::FabricStore::open` reconciles the two files to the
+    /// longest serial prefix both cover. Returns the number of blocks
+    /// the sequencer committed (to the storage buffers) before the
+    /// abort.
+    ///
+    /// Dropping an unfinished session has the same storage semantics;
+    /// `abort` just makes the intent explicit and reports the committed
+    /// count.
+    pub fn abort(mut self) -> usize {
+        self.shutdown();
+        let st = self.shared.state.lock().expect("stream state poisoned");
+        st.results.len()
+    }
+
+    /// Shared teardown of `abort` and `Drop`: wake every thread with the
+    /// abort flag and join them. Idempotent.
+    fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("stream state poisoned");
+            st.closed = true;
+            st.aborted = true;
+            st.pending.clear();
+            self.shared.cv.notify_all();
+        }
+        for lane in self.lanes.drain(..) {
+            let _ = lane.join();
+        }
+        if let Some(seq) = self.sequencer.take() {
+            let _ = seq.join();
+        }
+    }
+
     /// Convenience: stream `blocks` (in the given arrival order) through
     /// a fresh session and wait for completion.
     ///
@@ -396,20 +435,10 @@ impl Drop for StreamValidator {
         // A dropped (un-finished) session must not leave threads parked —
         // including the unwind path where `finish` panicked on a dead
         // lane, which would otherwise leave the sequencer waiting for a
-        // claimed-but-never-verified block forever.
-        {
-            let mut st = self.shared.state.lock().expect("stream state poisoned");
-            st.closed = true;
-            st.aborted = true;
-            st.pending.clear();
-            self.shared.cv.notify_all();
-        }
-        for lane in self.lanes.drain(..) {
-            let _ = lane.join();
-        }
-        if let Some(seq) = self.sequencer.take() {
-            let _ = seq.join();
-        }
+        // claimed-but-never-verified block forever. Storage is NOT
+        // flushed here (see `abort`): a dropped session is a crash, and
+        // the store tail is left torn-but-recoverable by design.
+        self.shutdown();
     }
 }
 

@@ -9,7 +9,7 @@ cargo run --release --bin bench_validation
 # The JSON must carry every tracked section; a refactor that silently
 # drops one would otherwise go unnoticed until the next perf review.
 for section in single_thread field_backend_ab scalar_backend_ab pipeline \
-               signature_cache block_stream durability; do
+               signature_cache block_stream durability cluster; do
   grep -q "\"$section\"" BENCH_validation.json \
     || { echo "error: BENCH_validation.json lost the $section section" >&2; exit 1; }
 done

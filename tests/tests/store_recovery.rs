@@ -611,3 +611,108 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+/// Crash between the block-store append and the journal flush, at every
+/// block boundary: commit a prefix of `p` blocks durably, then flush
+/// only *one* side (or neither) before dropping every handle — the
+/// torn-tail interleavings a crash can produce with the two files at
+/// independent group-commit boundaries. Whatever the interleaving, the
+/// min-rule must reconcile the pair to a serial prefix no longer than
+/// what was committed.
+#[test]
+fn one_sided_flush_at_every_block_boundary_recovers_a_serial_prefix() {
+    #[derive(Clone, Copy, Debug)]
+    enum Crash {
+        /// Neither file flushed: both tails torn.
+        Neither,
+        /// State journal flushed, block store buffered: journal ahead.
+        JournalOnly,
+        /// Block store flushed, journal buffered: ledger ahead.
+        LedgerOnly,
+    }
+    let scenario = small_scenario(303);
+    let oracle = reference(&scenario);
+    let n = oracle.blocks.len();
+    // group_commit 3 keeps a real buffered tail at most boundaries, so
+    // the one-sided flush actually skews the two files.
+    let config = StoreConfig {
+        group_commit: 3,
+        segment_max_bytes: 8 * 1024,
+    };
+    let mut skew_seen = false;
+    for p in 0..=n {
+        for crash in [Crash::Neither, Crash::JournalOnly, Crash::LedgerOnly] {
+            let dir = tempdir("one-sided");
+            {
+                let store = FabricStore::open(&dir, config).unwrap();
+                let validator = make_validator(&scenario, &store);
+                for block in &oracle.blocks[..p] {
+                    validator
+                        .validate_and_commit(block)
+                        .expect("prefix commits");
+                }
+                match crash {
+                    Crash::Neither => {}
+                    Crash::JournalOnly => store.state_db().flush_journal(),
+                    Crash::LedgerOnly => store.ledger().flush().unwrap(),
+                }
+                // Handles dropped without `store.flush()`: the crash.
+            }
+            let k = assert_recovers_to_serial_prefix(&dir, &oracle);
+            assert!(
+                k <= p as u64,
+                "recovered {k} blocks but only {p} were committed ({crash:?})"
+            );
+            skew_seen |= k < p as u64;
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+    assert!(
+        skew_seen,
+        "the interleaving matrix never actually lost a buffered tail"
+    );
+}
+
+/// Aborting (or plainly dropping) a mid-flight streaming session is a
+/// crash: storage is deliberately not flushed, the tail is torn at
+/// whatever group-commit boundaries the OS already has, and recovery
+/// must land on a serial prefix no longer than what the sequencer had
+/// committed at the instant of the abort.
+#[test]
+fn stream_abort_mid_flight_leaves_a_recoverable_torn_tail() {
+    let scenario = small_scenario(404);
+    let oracle = reference(&scenario);
+    let n = oracle.blocks.len();
+    let config = StoreConfig {
+        group_commit: 2,
+        segment_max_bytes: 8 * 1024,
+    };
+    for (pushed, explicit_abort) in [(1, true), (n / 2, true), (n, true), (n, false)] {
+        let dir = tempdir("stream-abort");
+        let committed = {
+            let store = FabricStore::open(&dir, config).unwrap();
+            let validator = std::sync::Arc::new(make_validator(&scenario, &store));
+            let stream = StreamValidator::new(validator, StreamConfig::default());
+            for block in oracle.blocks.iter().take(pushed) {
+                stream.push(block.clone()).unwrap();
+            }
+            if explicit_abort {
+                stream.abort()
+            } else {
+                // Dropping an unfinished session must have the same
+                // crash semantics as `abort`.
+                drop(stream);
+                usize::MAX
+            }
+        };
+        let k = assert_recovers_to_serial_prefix(&dir, &oracle);
+        assert!(k <= pushed as u64, "cannot recover unpushed blocks");
+        if explicit_abort {
+            assert!(
+                k <= committed as u64,
+                "recovered {k} blocks but the sequencer only committed {committed}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
