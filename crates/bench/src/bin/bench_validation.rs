@@ -91,6 +91,8 @@ fn main() {
 
     json.object("cluster", bench_cluster());
 
+    json.object("admission", bench_admission());
+
     let path = out_path();
     std::fs::write(&path, json.finish()).expect("write BENCH_validation.json");
     println!("\nwrote {}", path.display());
@@ -1200,6 +1202,131 @@ fn bench_cluster() -> JsonObject {
 
 /// Pulls a numeric field out of a flat JSON line (the child process's
 /// `--single-thread-json` output); no serde in the offline toolchain.
+fn bench_admission() -> JsonObject {
+    use fabric_mempool::{Mempool, MempoolConfig, SignatureCache, VerifyReport};
+    use fabric_sim::Samples;
+    use std::sync::Arc;
+    use workload::{open_loop_schedule, OpenLoopConfig, StreamScenario, Workload};
+
+    heading("admission: sharded mempool front-end (wall time)");
+
+    // A clean stream (no injected faults): the duplicates this leg sees
+    // come from the Zipf-skewed open-loop sender process re-submitting
+    // hot envelopes, the way impatient clients and gossip echoes do.
+    let scenario = StreamScenario {
+        workload: Workload::Smallbank,
+        accounts: 4,
+        block_size: 4,
+        num_blocks: 10,
+        stale_commit_pct: 0,
+        corrupt_sigs: 0,
+        duplicate_txs: 0,
+        seed: 47,
+    };
+    let pool: Vec<Vec<u8>> = scenario
+        .generate()
+        .blocks
+        .iter()
+        .flat_map(|b| b.data.data.clone())
+        .collect();
+    // Open-loop arrival order over the envelope pool: a Zipf sender
+    // process (exponent 1.1) collides on hot envelopes, so a fraction
+    // of arrivals are replays the dedup window must absorb.
+    let schedule = open_loop_schedule(&OpenLoopConfig {
+        rate_per_sec: 50_000.0,
+        senders: pool.len() as u64,
+        zipf_exponent: 1.1,
+        arrivals: 600,
+        seed: 13,
+    });
+
+    // Steady leg: admission latency, dedup rate, verify-pool occupancy.
+    let mempool = Mempool::with_msp(
+        MempoolConfig {
+            verify_workers: 4,
+            ..MempoolConfig::default()
+        },
+        Arc::new(SignatureCache::new(8192)),
+        Some(scenario.validator_msp()),
+    );
+    let mut admit_us = Samples::new();
+    let mut verify = VerifyReport::default();
+    let mut ordered = 0usize;
+    for (i, arrival) in schedule.iter().enumerate() {
+        let env = &pool[arrival.sender as usize % pool.len()];
+        let t0 = Instant::now();
+        let _ = mempool.admit(env);
+        admit_us.add(t0.elapsed().as_nanos() as f64 / 1_000.0);
+        if (i + 1) % 32 == 0 {
+            verify.accumulate(&mempool.verify_pending());
+            ordered += mempool.drain(usize::MAX).len();
+        }
+    }
+    verify.accumulate(&mempool.verify_pending());
+    ordered += mempool.drain(usize::MAX).len();
+    let stats = mempool.stats();
+    assert!(stats.duplicates > 0, "zipf arrivals must collide");
+    assert_eq!(stats.shed, 0, "the steady leg must not shed");
+
+    let p50 = admit_us.percentile(50.0);
+    let p99 = admit_us.percentile(99.0);
+    let mut out = JsonObject::new();
+    out.number("arrivals", schedule.len() as f64);
+    out.number("admission_p50_us", p50);
+    out.number("admission_p99_us", p99);
+    out.number("dedup_hit_rate", stats.dedup_hit_rate());
+    out.number("shed_rate", stats.shed_rate());
+    out.number("ordered", ordered as f64);
+    out.number("verify_pool_workers", verify.workers as f64);
+    out.number("verify_pool_occupancy", verify.occupancy());
+    out.number("underlying_verifications", stats.verifications as f64);
+    out.number("endorsements_warmed", verify.endorsements_warmed as f64);
+    table(
+        &["metric", "value"],
+        &[
+            vec!["admit p50".into(), format!("{p50:.2} µs")],
+            vec!["admit p99".into(), format!("{p99:.2} µs")],
+            vec![
+                "dedup hit rate".into(),
+                format!("{:.1}%", stats.dedup_hit_rate() * 100.0),
+            ],
+            vec![
+                "verify occupancy".into(),
+                format!("{:.1}%", verify.occupancy() * 100.0),
+            ],
+            vec!["ordered".into(), format!("{ordered}")],
+        ],
+    );
+
+    // Overload leg: a tiny pending bound with no verify/drain cycles —
+    // everything past the cap is shed *at admission*, before ordering.
+    let overload = Mempool::new(
+        MempoolConfig {
+            max_pending: 8,
+            ..MempoolConfig::default()
+        },
+        Arc::new(SignatureCache::new(1024)),
+    );
+    for arrival in &schedule {
+        let _ = overload.admit(&pool[arrival.sender as usize % pool.len()]);
+    }
+    let ostats = overload.stats();
+    assert!(ostats.shed > 0, "the overload leg must shed");
+    let mut over = JsonObject::new();
+    over.number("max_pending", 8.0);
+    over.number("shed_rate", ostats.shed_rate());
+    over.number("dedup_hit_rate", ostats.dedup_hit_rate());
+    out.object("overload", over);
+    println!(
+        "steady: admit p50 {p50:.2} µs, dedup {:.1}%, pool occupancy {:.1}%; \
+         overload (cap 8): shed {:.1}% before ordering",
+        stats.dedup_hit_rate() * 100.0,
+        verify.occupancy() * 100.0,
+        ostats.shed_rate() * 100.0
+    );
+    out
+}
+
 fn json_number(text: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\": ");
     let start = text.find(&pat)? + pat.len();

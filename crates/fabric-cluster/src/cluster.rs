@@ -47,6 +47,7 @@ use fabric_sim::{as_millis, EventQueue, NetLink, Samples, SimTime, MICROS};
 use fabric_store::{FabricStore, StoreConfig};
 use workload::StreamScenario;
 
+use crate::admission::{mempool_feed_blocks, OrderingMode};
 use crate::faults::{FaultPlan, KillPoint};
 use crate::link::{LinkTally, LossyLink};
 use crate::oracle::SerialOracle;
@@ -85,6 +86,9 @@ pub struct ClusterConfig {
     pub bandwidth_bps: u64,
     /// Data/feedback link propagation latency.
     pub link_latency: SimTime,
+    /// How the block stream is produced: the scenario's pregenerated
+    /// blocks verbatim, or re-cut by a mempool-fed ordering service.
+    pub ordering: OrderingMode,
 }
 
 impl ClusterConfig {
@@ -106,6 +110,7 @@ impl ClusterConfig {
             max_backlog: 64,
             bandwidth_bps: 1_000_000_000,
             link_latency: 100 * MICROS,
+            ordering: OrderingMode::Pregenerated,
         }
     }
 }
@@ -266,10 +271,18 @@ impl ClusterReport {
 }
 
 /// Runs the cluster described by `config` under `plan`, building the
-/// serial oracle first. Prefer [`run_with_oracle`] when several runs
-/// share a scenario — the oracle replay is the expensive part.
+/// serial oracle first — from the scenario's pregenerated blocks, or
+/// from the blocks a mempool-fed ordering service cuts, per
+/// [`ClusterConfig::ordering`]. Prefer [`run_with_oracle`] when several
+/// runs share a scenario — the oracle replay is the expensive part.
 pub fn run(config: &ClusterConfig, plan: &FaultPlan) -> ClusterReport {
-    let oracle = SerialOracle::build(&config.scenario);
+    let oracle = match &config.ordering {
+        OrderingMode::Pregenerated => SerialOracle::build(&config.scenario),
+        OrderingMode::MempoolFed(feed) => {
+            let outcome = mempool_feed_blocks(&config.scenario, feed);
+            SerialOracle::from_blocks(&config.scenario, outcome.blocks)
+        }
+    };
     run_with_oracle(config, plan, &oracle)
 }
 
@@ -753,6 +766,28 @@ mod tests {
             report.blocks * 2,
             "every block sampled on every peer"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The ISSUE's acceptance gate: a mempool-fed cluster run — dedup,
+    /// pre-ordering verification, re-cut blocks — must stay
+    /// bit-identical to the serial oracle of the stream it produced.
+    #[test]
+    fn mempool_fed_cluster_matches_its_serial_oracle() {
+        use crate::admission::MempoolFeed;
+        let dir = tempdir("mempool-fed");
+        let cfg = ClusterConfig {
+            peers: 2,
+            ordering: OrderingMode::MempoolFed(MempoolFeed::default()),
+            ..ClusterConfig::new(&dir, small_scenario())
+        };
+        let report = run(&cfg, &FaultPlan::default());
+        report.assert_converged();
+        assert!(report.blocks > 0, "the feed produced a stream");
+        for p in &report.peers {
+            assert!(p.alive);
+            assert_eq!(p.height, report.blocks);
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

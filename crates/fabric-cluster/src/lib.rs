@@ -22,18 +22,26 @@
 //!   peer stacks, with crash-rejoin via store recovery and
 //!   `BmacReceiver::resuming_from`;
 //! * [`oracle`] — [`SerialOracle`], the serial-replay ground truth and
-//!   the audit that defines convergence.
+//!   the audit that defines convergence;
+//! * [`admission`] — the mempool-fed ordering mode
+//!   ([`OrderingMode::MempoolFed`]): the scenario's envelopes pass
+//!   through `fabric-mempool`'s admission front-end (dedup, pre-order
+//!   signature verification, shedding) and a fresh ordering service
+//!   cuts the surviving stream, which is then audited bit-identically
+//!   like any other.
 //!
 //! See `README.md` for the topology diagram, the fault-plane knobs and
 //! the scenario catalog exercised by `tests/tests/cluster_faults.rs`.
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cluster;
 pub mod faults;
 pub mod link;
 pub mod oracle;
 
+pub use admission::{mempool_feed_blocks, FeedOutcome, MempoolFeed, OrderingMode};
 pub use cluster::{run, run_with_oracle, ClusterConfig, ClusterReport, LinkReport, PeerOutcome};
 pub use faults::{FaultPlan, KillPoint, LinkFaults, StallSpec};
 pub use link::{LinkTally, LossyLink};

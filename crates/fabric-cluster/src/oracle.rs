@@ -33,12 +33,20 @@ impl SerialOracle {
     /// Replays `scenario` through a fresh in-memory serial validator and
     /// records the reference after every block.
     pub fn build(scenario: &StreamScenario) -> Self {
-        let generated = scenario.generate();
+        let blocks = scenario.generate().blocks;
+        Self::from_blocks(scenario, blocks)
+    }
+
+    /// Builds the oracle for an arbitrary ordered block stream validated
+    /// under `scenario`'s MSP and policies — the mempool-fed mode cuts
+    /// its own blocks, and they need the same serial ground truth as a
+    /// pregenerated stream.
+    pub fn from_blocks(scenario: &StreamScenario, blocks: Vec<Block>) -> Self {
         let serial = ValidatorPipeline::new(scenario.validator_msp(), scenario.policies(), 2);
         let mut codes = Vec::new();
         let mut commit_hashes = Vec::new();
         let mut snapshots = vec![serial.state_db().snapshot()];
-        for block in &generated.blocks {
+        for block in &blocks {
             let r = serial
                 .validate_and_commit(block)
                 .expect("serial replay of a generated scenario cannot fail");
@@ -47,7 +55,7 @@ impl SerialOracle {
             snapshots.push(serial.state_db().snapshot());
         }
         SerialOracle {
-            blocks: generated.blocks,
+            blocks,
             codes,
             commit_hashes,
             snapshots,

@@ -125,12 +125,26 @@ pub struct DisseminationModel {
 
 impl DisseminationModel {
     /// Builds a topology with `orgs` organizations of `peers_per_org`
-    /// peers each, all links identical to `link`.
+    /// peers each, all links identical to `link`. A single-peer org is
+    /// valid — its lone peer is the lead and receives directly over the
+    /// orderer link with no intra-org relays.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `orgs == 0` or `peers_per_org == 0`: a topology with no
+    /// peers has no delivery targets, and silently disseminating into it
+    /// would report every block as "delivered everywhere" vacuously.
     pub fn new(orgs: usize, peers_per_org: usize, link: &NetLink) -> Self {
+        assert!(orgs > 0, "dissemination topology needs at least one org");
+        assert!(
+            peers_per_org > 0,
+            "dissemination topology needs at least one peer per org \
+             (a zero-peer org would make every block vacuously delivered)"
+        );
         DisseminationModel {
             orderer_links: vec![link.clone(); orgs],
             relay_links: (0..orgs)
-                .map(|_| vec![link.clone(); peers_per_org.saturating_sub(1)])
+                .map(|_| vec![link.clone(); peers_per_org - 1])
                 .collect(),
         }
     }
@@ -187,6 +201,35 @@ mod dissemination_tests {
         // Separate orderer links: all leads get the same arrival time.
         let times: Vec<SimTime> = arrivals.iter().map(|(_, _, t)| *t).collect();
         assert!(times.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    /// Degenerate-org regression: a 1-peer org has no relay fan-out, but
+    /// its lone (lead) peer must still receive every block via the
+    /// orderer link — exactly one arrival per org, at peer index 0.
+    #[test]
+    fn single_peer_orgs_deliver_via_the_leader_link() {
+        let mut model = DisseminationModel::new(3, 1, &NetLink::gigabit());
+        let arrivals = model.disseminate(0, 100_000);
+        assert_eq!(arrivals.len(), 3, "one delivery per single-peer org");
+        for org in 0..3 {
+            let org_arrivals: Vec<_> = arrivals.iter().filter(|(o, _, _)| *o == org).collect();
+            assert_eq!(org_arrivals.len(), 1, "org {org} delivered exactly once");
+            let (_, peer, at) = org_arrivals[0];
+            assert_eq!(*peer, 0, "the lone peer is the lead");
+            assert!(*at > 0, "a real transmission takes time");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer per org")]
+    fn zero_peer_orgs_are_rejected_loudly() {
+        let _ = DisseminationModel::new(2, 0, &NetLink::gigabit());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one org")]
+    fn zero_org_topologies_are_rejected_loudly() {
+        let _ = DisseminationModel::new(0, 4, &NetLink::gigabit());
     }
 
     #[test]

@@ -117,6 +117,30 @@ impl OrderingService {
         Ok(self.cut_ready_blocks())
     }
 
+    /// Drains every verified-and-ready transaction from `mempool` into
+    /// ordering, returning the blocks cut along the way. This is the
+    /// mempool-fed mode: transactions reach the orderer already
+    /// deduplicated and signature-checked, in admission order, so the
+    /// blocks cut here are deterministic for a given admission
+    /// sequence regardless of verify-pool parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ProposeError`] from [`OrderingService::submit`]
+    /// (multi-node mode only). Transactions already drained from the
+    /// mempool before the error are retained in `committed_pending`
+    /// and will be cut once the leader recovers.
+    pub fn ingest_mempool(
+        &mut self,
+        mempool: &fabric_mempool::Mempool,
+    ) -> Result<Vec<Block>, ProposeError> {
+        let mut out = Vec::new();
+        for envelope in mempool.drain(usize::MAX) {
+            out.extend(self.submit(envelope)?);
+        }
+        Ok(out)
+    }
+
     /// Advances the Raft cluster (no-op for single-orderer mode).
     pub fn tick(&mut self) {
         if let Some(cluster) = &mut self.cluster {
@@ -228,6 +252,57 @@ mod tests {
         let block = svc.cut_partial_block().expect("partial block");
         assert_eq!(block.data.data.len(), 2);
         assert!(svc.cut_partial_block().is_none());
+    }
+
+    #[test]
+    fn mempool_fed_blocks_follow_admission_order() {
+        use fabric_mempool::{AdmitOutcome, Mempool, MempoolConfig};
+        use fabric_protos::txflow::{build_transaction, TxParams};
+        use std::sync::Arc;
+
+        let mut msp = Msp::new(1);
+        let client = msp.issue(0, Role::Client, 1).unwrap();
+        let endorser = msp.issue(0, Role::Peer, 1).unwrap();
+        let envs: Vec<Vec<u8>> = (0..4u8)
+            .map(|i| {
+                build_transaction(
+                    &client,
+                    &[&endorser],
+                    &TxParams {
+                        channel_id: "ch",
+                        chaincode: "kv",
+                        reads: vec![],
+                        writes: vec![(format!("k{i}"), vec![i])],
+                        nonce: vec![i],
+                        timestamp: 1,
+                    },
+                )
+                .envelope
+            })
+            .collect();
+
+        let mempool = Mempool::new(
+            MempoolConfig::default(),
+            Arc::new(fabric_mempool::SignatureCache::new(1024)),
+        );
+        for env in &envs {
+            assert_eq!(mempool.admit(env), AdmitOutcome::Admitted);
+        }
+        mempool.verify_pending();
+
+        let mut svc = OrderingService::new(
+            orderer_identity(),
+            OrdererConfig {
+                block_size: 2,
+                cluster_size: 1,
+                seed: 1,
+            },
+        );
+        let blocks = svc.ingest_mempool(&mempool).unwrap();
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].data.data, envs[..2].to_vec());
+        assert_eq!(blocks[1].data.data, envs[2..].to_vec());
+        assert_eq!(mempool.ready_len(), 0, "mempool fully drained");
     }
 
     #[test]

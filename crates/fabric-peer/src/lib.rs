@@ -35,5 +35,5 @@ pub use costs::SwCosts;
 pub use fabric_ledger::TxValidationCode;
 pub use model::{BlockProfile, CpuProfile, SwBreakdown, SwValidatorModel};
 pub use pipeline::{BlockValidationResult, StageTimings, ValidateError, ValidatorPipeline};
-pub use sigcache::{SigCacheKey, SigCacheStats, SignatureCache};
+pub use sigcache::{Claim, ClaimGuard, SigCacheKey, SigCacheStats, SignatureCache};
 pub use stream::{StreamConfig, StreamError, StreamReport, StreamStats, StreamValidator};

@@ -45,7 +45,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use fabric_crypto::ecdsa::batch_s_inverses;
@@ -57,7 +57,7 @@ use fabric_protos::messages::Block;
 use fabric_protos::txflow::{decode_block_struct, DecodedBlock};
 use fabric_statedb::{Height, StateDb, WriteBatch};
 
-use crate::sigcache::{SigCacheKey, SigCacheStats, SignatureCache};
+use crate::sigcache::{Claim, SigCacheKey, SigCacheStats, SignatureCache};
 
 /// Per-stage wall-clock timings of one block validation (µs).
 #[derive(Debug, Clone, Copy, Default)]
@@ -149,8 +149,10 @@ pub struct ValidatorPipeline {
     /// endorsements" evidence and the cache-dedup tests).
     verifications: AtomicUsize,
     /// Sharded LRU of verification verdicts keyed by
-    /// `(pubkey, digest, signature)`.
-    sig_cache: SignatureCache,
+    /// `(pubkey, digest, signature)`. Behind an `Arc` so an admission
+    /// front-end (the mempool's verify pool) can share verdicts with the
+    /// committer: a signature checked at admission is a cache hit here.
+    sig_cache: Arc<SignatureCache>,
     /// Memo of certificate-chain checks by certificate fingerprint: a
     /// block repeats the same few certificates hundreds of times, and
     /// each MSP validation is itself a full ECDSA verification (the CA
@@ -222,6 +224,33 @@ impl ValidatorPipeline {
         state_db: StateDb,
         ledger: Ledger,
     ) -> Self {
+        Self::with_shared_cache(
+            msp,
+            policies,
+            workers,
+            Arc::new(SignatureCache::new(cache_capacity)),
+            state_db,
+            ledger,
+        )
+    }
+
+    /// Creates a validator over existing storage *and* an externally
+    /// owned signature cache. This is the cache-sharing constructor: the
+    /// admission-side verify pool (`fabric-mempool`) and the committer
+    /// pass the same `Arc`, so a verdict produced on either side is a
+    /// lookup on the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_shared_cache(
+        msp: Msp,
+        policies: HashMap<String, Policy>,
+        workers: usize,
+        sig_cache: Arc<SignatureCache>,
+        state_db: StateDb,
+        ledger: Ledger,
+    ) -> Self {
         assert!(workers > 0, "at least one vscc worker required");
         ValidatorPipeline {
             msp,
@@ -230,9 +259,14 @@ impl ValidatorPipeline {
             ledger,
             workers,
             verifications: AtomicUsize::new(0),
-            sig_cache: SignatureCache::new(cache_capacity),
+            sig_cache,
             cert_cache: std::sync::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Shared handle to the signature-verdict cache.
+    pub fn sig_cache(&self) -> Arc<SignatureCache> {
+        Arc::clone(&self.sig_cache)
     }
 
     /// Flushes the storage layer (state journal, then block store) — the
@@ -604,16 +638,22 @@ impl ValidatorPipeline {
     }
 
     fn verify_task(&self, task: &VerifyTask<'_>, sinv: &U256) -> bool {
-        if let Some(verdict) = self.sig_cache.get(&task.cache_key) {
-            return verdict;
+        // claim() is the thundering-herd-safe path: under concurrent
+        // misses on one triple (two streaming verify stages, or the
+        // admission pool racing the committer) exactly one claimant runs
+        // the ECDSA engine and the rest wait for its verdict.
+        match self.sig_cache.claim(&task.cache_key) {
+            Claim::Verdict(verdict) => verdict,
+            Claim::Verify(guard) => {
+                self.bump_verifications(1);
+                let valid = task
+                    .key
+                    .verify_prehashed_with_sinv(&task.digest, &task.sig, sinv)
+                    .is_ok();
+                guard.fulfill(valid);
+                valid
+            }
         }
-        self.bump_verifications(1);
-        let valid = task
-            .key
-            .verify_prehashed_with_sinv(&task.digest, &task.sig, sinv)
-            .is_ok();
-        self.sig_cache.insert(task.cache_key, valid);
-        valid
     }
 
     fn verify_cached(
@@ -624,13 +664,15 @@ impl ValidatorPipeline {
         sinv: &U256,
     ) -> bool {
         let cache_key = SigCacheKey::compute(key, digest, sig);
-        if let Some(verdict) = self.sig_cache.get(&cache_key) {
-            return verdict;
+        match self.sig_cache.claim(&cache_key) {
+            Claim::Verdict(verdict) => verdict,
+            Claim::Verify(guard) => {
+                self.bump_verifications(1);
+                let valid = key.verify_prehashed_with_sinv(digest, sig, sinv).is_ok();
+                guard.fulfill(valid);
+                valid
+            }
         }
-        self.bump_verifications(1);
-        let valid = key.verify_prehashed_with_sinv(digest, sig, sinv).is_ok();
-        self.sig_cache.insert(cache_key, valid);
-        valid
     }
 
     fn bump_verifications(&self, n: usize) {

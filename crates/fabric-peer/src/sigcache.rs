@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 use fabric_crypto::{sha256, Signature, VerifyingKey};
 
@@ -62,6 +62,9 @@ pub struct SigCacheStats {
     pub hits: u64,
     /// Lookups that fell through to real verification.
     pub misses: u64,
+    /// Claims that waited on an in-flight verification instead of
+    /// running their own (thundering-herd dedup).
+    pub coalesced: u64,
     /// Entries currently resident.
     pub entries: usize,
     /// Maximum resident entries across all shards.
@@ -86,6 +89,99 @@ pub struct SignatureCache {
     shards: Vec<Mutex<LruShard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// One in-flight verification: waiters block on the condvar until the
+/// claimant publishes a verdict (or abandons, forcing a re-claim).
+#[derive(Debug)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlightState {
+    Pending,
+    Done(bool),
+    Abandoned,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, state: FlightState) {
+        *self.state.lock().expect("sigcache flight poisoned") = state;
+        self.cv.notify_all();
+    }
+}
+
+/// Outcome of [`SignatureCache::claim`]: either a verdict is already
+/// available (cached, or produced by a concurrent claimant we waited
+/// on), or the caller holds the exclusive claim and must verify.
+#[derive(Debug)]
+pub enum Claim<'a> {
+    /// A verdict was available without verifying.
+    Verdict(bool),
+    /// The caller owns the verification for this key; every concurrent
+    /// `claim` on the same key blocks until the guard is fulfilled (or
+    /// dropped, which wakes the waiters to re-claim).
+    Verify(ClaimGuard<'a>),
+}
+
+/// Exclusive right to verify one cache key. Call
+/// [`ClaimGuard::fulfill`] with the verdict; dropping the guard without
+/// fulfilling (panic, early return) releases the claim so a waiter can
+/// retry instead of deadlocking.
+#[derive(Debug)]
+pub struct ClaimGuard<'a> {
+    cache: &'a SignatureCache,
+    key: SigCacheKey,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl ClaimGuard<'_> {
+    /// The key this claim covers.
+    pub fn key(&self) -> &SigCacheKey {
+        &self.key
+    }
+
+    /// Publishes the verdict: inserts it into the cache, then wakes
+    /// every waiter coalesced behind this claim.
+    pub fn fulfill(mut self, valid: bool) {
+        self.done = true;
+        {
+            let mut shard = self.cache.shards[self.key.shard()]
+                .lock()
+                .expect("sigcache shard poisoned");
+            shard.insert(self.key, valid);
+            shard.inflight.remove(&self.key);
+        }
+        self.flight.resolve(FlightState::Done(valid));
+    }
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        // Abandoned claim (panic or early return in the verifier):
+        // unpark the waiters so one of them re-claims the key.
+        {
+            let mut shard = self.cache.shards[self.key.shard()]
+                .lock()
+                .expect("sigcache shard poisoned");
+            shard.inflight.remove(&self.key);
+        }
+        self.flight.resolve(FlightState::Abandoned);
+    }
 }
 
 impl SignatureCache {
@@ -99,6 +195,58 @@ impl SignatureCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a verdict or claims the right to produce one.
+    ///
+    /// Exactly one caller per key gets [`Claim::Verify`] at a time;
+    /// concurrent callers for the same key block until the claimant
+    /// publishes (they then return [`Claim::Verdict`] and count as
+    /// `coalesced` in [`Self::stats`]) — so a thundering herd on one
+    /// `(key, digest, sig)` triple runs a single ECDSA verification.
+    pub fn claim(&self, key: &SigCacheKey) -> Claim<'_> {
+        loop {
+            let flight = {
+                let mut shard = self.shards[key.shard()]
+                    .lock()
+                    .expect("sigcache shard poisoned");
+                if let Some(valid) = shard.get(key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Claim::Verdict(valid);
+                }
+                match shard.inflight.get(key) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let flight = Arc::new(Flight::new());
+                        shard.inflight.insert(*key, Arc::clone(&flight));
+                        return Claim::Verify(ClaimGuard {
+                            cache: self,
+                            key: *key,
+                            flight,
+                            done: false,
+                        });
+                    }
+                }
+            };
+            // Wait outside the shard lock: the claimant needs it to
+            // publish, and unrelated keys must not stall behind us.
+            let mut state = flight.state.lock().expect("sigcache flight poisoned");
+            loop {
+                match *state {
+                    FlightState::Done(valid) => {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        return Claim::Verdict(valid);
+                    }
+                    FlightState::Abandoned => break,
+                    FlightState::Pending => {
+                        state = flight.cv.wait(state).expect("sigcache flight poisoned");
+                    }
+                }
+            }
+            // Claimant abandoned: retry; one of the waiters re-claims.
         }
     }
 
@@ -120,12 +268,19 @@ impl SignatureCache {
     }
 
     /// Records a verdict, evicting the least-recently-used entry if the
-    /// shard is full.
+    /// shard is full. Also resolves any in-flight claim on the key so
+    /// waiters pick up the externally supplied verdict.
     pub fn insert(&self, key: SigCacheKey, valid: bool) {
-        let mut shard = self.shards[key.shard()]
-            .lock()
-            .expect("sigcache shard poisoned");
-        shard.insert(key, valid);
+        let flight = {
+            let mut shard = self.shards[key.shard()]
+                .lock()
+                .expect("sigcache shard poisoned");
+            shard.insert(key, valid);
+            shard.inflight.remove(&key)
+        };
+        if let Some(flight) = flight {
+            flight.resolve(FlightState::Done(valid));
+        }
     }
 
     /// Current statistics.
@@ -144,6 +299,7 @@ impl SignatureCache {
         SigCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
             entries,
             capacity,
         }
@@ -169,6 +325,9 @@ struct LruShard {
     arena: Vec<Entry>,
     head: usize,
     tail: usize,
+    /// Keys currently being verified by a claimant; waiters coalesce on
+    /// the flight instead of verifying themselves.
+    inflight: HashMap<SigCacheKey, Arc<Flight>>,
 }
 
 impl LruShard {
@@ -179,6 +338,7 @@ impl LruShard {
             arena: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,
+            inflight: HashMap::new(),
         }
     }
 
@@ -332,6 +492,115 @@ mod tests {
         cache.insert(b, true);
         assert_eq!(cache.get(&b), Some(true));
         assert_eq!(cache.get(&a), None, "old entry evicted from full shard");
+    }
+
+    #[test]
+    fn concurrent_probes_coalesce_into_one_verify() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache = SignatureCache::new(64);
+        let (vk, digest, sig) = triple(7);
+        let key = SigCacheKey::compute(&vk, &digest, &sig);
+        const PROBES: usize = 8;
+        let barrier = Barrier::new(PROBES);
+        let verifies = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..PROBES {
+                s.spawn(|| {
+                    barrier.wait();
+                    let valid = match cache.claim(&key) {
+                        Claim::Verdict(v) => v,
+                        Claim::Verify(guard) => {
+                            verifies.fetch_add(1, Ordering::SeqCst);
+                            // Slow verify: keep the claim open long
+                            // enough that the other probes pile up.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            let ok = vk.verify_prehashed(&digest, &sig).is_ok();
+                            guard.fulfill(ok);
+                            ok
+                        }
+                    };
+                    assert!(valid, "all probes must see the real verdict");
+                });
+            }
+        });
+
+        assert_eq!(
+            verifies.load(Ordering::SeqCst),
+            1,
+            "exactly one probe runs the ECDSA verify; the herd coalesces"
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.coalesced + stats.hits, (PROBES - 1) as u64);
+        assert_eq!(cache.get(&key), Some(true));
+    }
+
+    #[test]
+    fn abandoned_claim_wakes_a_waiter_to_retry() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Barrier;
+
+        let cache = SignatureCache::new(64);
+        let key = SigCacheKey::from_bytes(sha256(b"abandoned"));
+        let barrier = Barrier::new(2);
+        let claims = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // First claimant: drop the guard without a verdict.
+                if let Claim::Verify(guard) = cache.claim(&key) {
+                    claims.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    drop(guard);
+                } else {
+                    panic!("first claim must win the verify slot");
+                }
+            });
+            s.spawn(|| {
+                barrier.wait();
+                // Second probe blocks on the flight, then must be handed
+                // the claim (not a verdict) once the first abandons.
+                match cache.claim(&key) {
+                    Claim::Verify(guard) => {
+                        claims.fetch_add(1, Ordering::SeqCst);
+                        guard.fulfill(false);
+                    }
+                    Claim::Verdict(_) => panic!("abandoned flight must not yield a verdict"),
+                }
+            });
+        });
+
+        assert_eq!(claims.load(Ordering::SeqCst), 2);
+        assert_eq!(cache.get(&key), Some(false));
+    }
+
+    #[test]
+    fn external_insert_resolves_inflight_claim() {
+        let cache = SignatureCache::new(64);
+        let key = SigCacheKey::from_bytes(sha256(b"external-insert"));
+        let guard = match cache.claim(&key) {
+            Claim::Verify(g) => g,
+            Claim::Verdict(_) => panic!("fresh key cannot have a verdict"),
+        };
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| cache.claim(&key));
+            // Give the waiter a moment to park on the flight, then
+            // resolve it via a plain insert (e.g. an admission-side
+            // verifier publishing through the shared cache).
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            cache.insert(key, true);
+            match waiter.join().unwrap() {
+                Claim::Verdict(v) => assert!(v),
+                Claim::Verify(_) => panic!("insert must resolve the waiter"),
+            }
+        });
+        // The original claimant publishing afterwards is harmless.
+        guard.fulfill(true);
+        assert_eq!(cache.get(&key), Some(true));
     }
 
     #[test]

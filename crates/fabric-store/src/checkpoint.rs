@@ -25,18 +25,27 @@ use crate::StoreOpenError;
 pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
 const CHECKPOINT_TMP: &str = "checkpoint.tmp";
 
-/// A loaded checkpoint: the snapshot entries and the tip height the
-/// snapshot was taken at.
+/// A loaded checkpoint: the snapshot entries plus the two tip heights
+/// that bracket the (possibly fuzzy) snapshot.
 #[derive(Debug)]
 pub struct Checkpoint {
     /// Ordered `(key, value)` entries of the snapshot.
     pub entries: Vec<(String, VersionedValue)>,
-    /// State tip at snapshot time (`None` for a pre-genesis snapshot).
+    /// State tip observed *before* the snapshot started (`None` for a
+    /// pre-genesis snapshot). Everything at or below this height is
+    /// fully folded into `entries`; journal replay resumes above it.
     pub tip: Option<Height>,
+    /// State tip observed *after* the snapshot finished. The chunked
+    /// [`StateDb::snapshot`] releases its lock between chunks, so
+    /// `entries` may additionally contain a *subset* of the writes in
+    /// `(tip, cover_to]` — recovery must have complete journal coverage
+    /// through `cover_to` (replaying that window is idempotent and
+    /// completes the partial subset) or discard the checkpoint. Equal
+    /// to `tip` when the snapshot ran quiescent.
+    pub cover_to: Option<Height>,
 }
 
-fn encode(entries: &[(String, VersionedValue)], tip: Option<Height>) -> Vec<u8> {
-    let mut out = Vec::new();
+fn encode_tip(out: &mut Vec<u8>, tip: Option<Height>) {
     match tip {
         Some(h) => {
             out.push(1);
@@ -45,6 +54,16 @@ fn encode(entries: &[(String, VersionedValue)], tip: Option<Height>) -> Vec<u8> 
         }
         None => out.push(0),
     }
+}
+
+fn encode(
+    entries: &[(String, VersionedValue)],
+    tip: Option<Height>,
+    cover_to: Option<Height>,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_tip(&mut out, tip);
+    encode_tip(&mut out, cover_to);
     out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     for (key, v) in entries {
         out.extend_from_slice(&(key.len() as u32).to_le_bytes());
@@ -57,17 +76,26 @@ fn encode(entries: &[(String, VersionedValue)], tip: Option<Height>) -> Vec<u8> 
     out
 }
 
+fn decode_tip(rest: &mut &[u8]) -> Option<Option<Height>> {
+    match frame::take(rest, 1)?[0] {
+        1 => Some(Some(Height::new(
+            u64::from_le_bytes(frame::take(rest, 8)?.try_into().unwrap()),
+            u64::from_le_bytes(frame::take(rest, 8)?.try_into().unwrap()),
+        ))),
+        0 => Some(None),
+        _ => None,
+    }
+}
+
 fn decode(payload: &[u8]) -> Option<Checkpoint> {
     let take = frame::take;
     let mut rest = payload;
-    let tip = match take(&mut rest, 1)?[0] {
-        1 => Some(Height::new(
-            u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()),
-            u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()),
-        )),
-        0 => None,
-        _ => return None,
-    };
+    let tip = decode_tip(&mut rest)?;
+    let cover_to = decode_tip(&mut rest)?;
+    // A fuzzy snapshot can only run *ahead* of its starting tip.
+    if cover_to < tip {
+        return None;
+    }
     let n = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
     let mut entries = Vec::new();
     for _ in 0..n {
@@ -86,25 +114,54 @@ fn decode(payload: &[u8]) -> Option<Checkpoint> {
     if !rest.is_empty() {
         return None;
     }
-    Some(Checkpoint { entries, tip })
+    Some(Checkpoint {
+        entries,
+        tip,
+        cover_to,
+    })
 }
 
-/// Atomically writes a checkpoint of `db` into `root`, returning the
-/// tip height it captured. Call between block commits: the snapshot
-/// must describe a block boundary for recovery to replay from it.
+/// Captures a (possibly fuzzy) snapshot of `db`: the replay-from tip is
+/// read *before* the chunked snapshot starts and the cover-to tip after
+/// it finishes, bracketing whatever concurrent commits interleaved with
+/// the copy. Publish it with [`publish`] — callers with a journal
+/// (`FabricStore`) flush between capture and publish so every record up
+/// to `cover_to` is durable before the checkpoint claims the window.
+pub fn capture(db: &StateDb) -> Checkpoint {
+    let tip = db.tip_height();
+    let entries = db.snapshot();
+    let cover_to = db.tip_height();
+    Checkpoint {
+        entries,
+        tip,
+        cover_to,
+    }
+}
+
+/// Atomically publishes a captured checkpoint into `root` (tmp +
+/// rename), returning its replay-from tip.
+///
+/// # Errors
+///
+/// [`StoreOpenError::Io`] on filesystem failures.
+pub fn publish(root: &Path, ckpt: &Checkpoint) -> Result<Option<Height>, StoreOpenError> {
+    let record = frame::encode_record(&encode(&ckpt.entries, ckpt.tip, ckpt.cover_to));
+    let tmp = root.join(CHECKPOINT_TMP);
+    std::fs::write(&tmp, &record).map_err(|e| StoreOpenError::Io(format!("write tmp: {e}")))?;
+    std::fs::rename(&tmp, root.join(CHECKPOINT_FILE))
+        .map_err(|e| StoreOpenError::Io(format!("rename checkpoint: {e}")))?;
+    Ok(ckpt.tip)
+}
+
+/// Captures and publishes in one call — correct when no writer runs
+/// concurrently (tests, quiescent stores). `FabricStore::checkpoint`
+/// inserts a journal flush between the two steps instead.
 ///
 /// # Errors
 ///
 /// [`StoreOpenError::Io`] on filesystem failures.
 pub fn write(root: &Path, db: &StateDb) -> Result<Option<Height>, StoreOpenError> {
-    let entries = db.snapshot();
-    let tip = db.tip_height();
-    let record = frame::encode_record(&encode(&entries, tip));
-    let tmp = root.join(CHECKPOINT_TMP);
-    std::fs::write(&tmp, &record).map_err(|e| StoreOpenError::Io(format!("write tmp: {e}")))?;
-    std::fs::rename(&tmp, root.join(CHECKPOINT_FILE))
-        .map_err(|e| StoreOpenError::Io(format!("rename checkpoint: {e}")))?;
-    Ok(tip)
+    publish(root, &capture(db))
 }
 
 /// Loads the checkpoint if one exists and passes integrity checks.
@@ -151,6 +208,7 @@ mod tests {
         assert_eq!(tip, Some(Height::new(3, 1)));
         let loaded = load(&dir).unwrap();
         assert_eq!(loaded.tip, tip);
+        assert_eq!(loaded.cover_to, tip, "quiescent capture: no fuzz window");
         assert_eq!(loaded.entries, db.snapshot());
         let _ = std::fs::remove_dir_all(&dir);
     }

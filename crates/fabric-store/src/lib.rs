@@ -30,10 +30,15 @@
 //! *different* prefixes; recovery reconciles them:
 //!
 //! 1. scan block segments, truncating a torn tail → blocks `0..b`;
-//! 2. load the checkpoint if it is valid and within `0..b` → height `c`
-//!    (corrupt or ahead-of-store checkpoints are discarded; the journal
-//!    is never truncated below its content, so full replay from genesis
-//!    always remains possible);
+//! 2. load the checkpoint if it is valid and within `0..b` → replay-from
+//!    height `c` (corrupt or ahead-of-store checkpoints are discarded;
+//!    the journal is never truncated below its content, so full replay
+//!    from genesis always remains possible). A checkpoint captured while
+//!    commits were in flight is *fuzzy*: its entries fully cover `..= c`
+//!    plus an arbitrary subset of the writes in `(c, cover_to]`, and it
+//!    is usable only when recovery reaches `cover_to` (step 4) so the
+//!    idempotent replay of that window squares the image up — otherwise
+//!    it is discarded like a corrupt one;
 //! 3. scan the journal, truncating a torn tail; a block `n`'s state
 //!    coverage is *complete* iff the journal holds exactly one record
 //!    per `Valid` transaction of stored block `n` (the per-tx apply
@@ -205,11 +210,11 @@ impl FabricStore {
         let b = valid_counts.len() as u64;
 
         // 2. Checkpoint eligibility: must exist, parse, and describe a
-        // height the store still covers.
+        // fuzz window (`tip ..= cover_to`) the store still covers.
         let ckpt_present = checkpoint::exists(&root);
-        let ckpt = checkpoint::load(&root).filter(|c| c.tip.is_none_or(|t| t.block_num < b));
-        let checkpoint_discarded = ckpt_present && ckpt.is_none();
-        let c: Option<u64> = ckpt.as_ref().and_then(|c| c.tip).map(|t| t.block_num);
+        let mut ckpt =
+            checkpoint::load(&root).filter(|c| c.cover_to.is_none_or(|t| t.block_num < b));
+        let mut c: Option<u64> = ckpt.as_ref().and_then(|c| c.tip).map(|t| t.block_num);
 
         // 3. Journal prefix and per-block coverage.
         let journal_path = root.join(JOURNAL_FILE);
@@ -220,17 +225,37 @@ impl FabricStore {
         }
 
         // 4. The min-rule walk: extend k while every block past the
-        // checkpoint has exactly its valid-tx count journaled.
-        let mut k: Option<u64> = c;
-        let start = c.map(|c| c + 1).unwrap_or(0);
-        for n in start..b {
-            let expected = valid_counts[n as usize];
-            if coverage.get(&n).copied().unwrap_or(0) == expected {
-                k = Some(n);
-            } else {
-                break;
+        // checkpoint's replay-from tip has exactly its valid-tx count
+        // journaled.
+        let walk = |c: Option<u64>| -> Option<u64> {
+            let mut k: Option<u64> = c;
+            let start = c.map(|c| c + 1).unwrap_or(0);
+            for n in start..b {
+                let expected = valid_counts[n as usize];
+                if coverage.get(&n).copied().unwrap_or(0) == expected {
+                    k = Some(n);
+                } else {
+                    break;
+                }
+            }
+            k
+        };
+        let mut k = walk(c);
+
+        // 4b. Fuzzy-snapshot validity: the chunked snapshot may hold a
+        // partial subset of the writes in `(tip, cover_to]`, which only
+        // a *complete* journal replay of that window can square up. If
+        // recovery cannot reach `cover_to`, the checkpoint is unusable —
+        // fall back to full journal replay from genesis (quiescent
+        // checkpoints have `cover_to == tip` and always pass).
+        if let Some(cover) = ckpt.as_ref().and_then(|c| c.cover_to).map(|t| t.block_num) {
+            if k.is_none_or(|k| k < cover) {
+                ckpt = None;
+                c = None;
+                k = walk(None);
             }
         }
+        let checkpoint_discarded = ckpt_present && ckpt.is_none();
         let recovered_len = k.map(|k| k + 1).unwrap_or(0);
         blocks
             .truncate_to(recovered_len)
@@ -320,17 +345,25 @@ impl FabricStore {
     }
 
     /// Takes an atomic checkpoint of the current state, bounding the
-    /// next recovery's replay to the journal records above it. Call
-    /// between block commits (the snapshot must describe a block
-    /// boundary). Flushes first so the checkpoint never describes state
-    /// the journal has not yet persisted.
+    /// next recovery's replay to the journal records above its
+    /// replay-from tip. Safe to call *while commits are in flight*: the
+    /// chunked state snapshot lets writers interleave, and the captured
+    /// fuzz window (`tip ..= cover_to`) tells recovery which journal
+    /// suffix squares the image up. Flushes before capture so the
+    /// checkpoint never describes state the journal has not persisted,
+    /// and again after a fuzzy capture so every record up to `cover_to`
+    /// is durable before the rename makes the checkpoint visible.
     ///
     /// # Errors
     ///
     /// [`StoreOpenError::Io`] on write failure.
     pub fn checkpoint(&self) -> Result<Option<Height>, StoreOpenError> {
         self.flush()?;
-        checkpoint::write(&self.root, &self.state_db)
+        let ckpt = checkpoint::capture(&self.state_db);
+        if ckpt.cover_to != ckpt.tip {
+            self.flush()?;
+        }
+        checkpoint::publish(&self.root, &ckpt)
     }
 }
 

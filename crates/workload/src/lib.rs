@@ -9,11 +9,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod driver;
 pub mod drm;
 pub mod smallbank;
 pub mod stream_gen;
 
+pub use arrivals::{open_loop_schedule, Arrival, OpenLoopConfig, ZipfSampler};
 pub use driver::{measure_profile, Driver, Workload};
 pub use drm::Drm;
 pub use smallbank::Smallbank;

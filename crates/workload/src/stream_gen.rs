@@ -112,7 +112,9 @@ impl StreamScenario {
     }
 
     /// The deterministic orderer identity used to (re-)sign blocks.
-    fn orderer(&self) -> SigningIdentity {
+    /// Public so a mempool-fed ordering service can cut blocks the
+    /// serial oracle will accept as genuinely orderer-signed.
+    pub fn orderer(&self) -> SigningIdentity {
         let mut msp = Msp::new(2);
         msp.issue(0, Role::Orderer, 0).unwrap()
     }

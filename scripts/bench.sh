@@ -9,9 +9,17 @@ cargo run --release --bin bench_validation
 # The JSON must carry every tracked section; a refactor that silently
 # drops one would otherwise go unnoticed until the next perf review.
 for section in single_thread field_backend_ab scalar_backend_ab pipeline \
-               signature_cache block_stream durability cluster; do
+               signature_cache block_stream durability cluster admission; do
   grep -q "\"$section\"" BENCH_validation.json \
     || { echo "error: BENCH_validation.json lost the $section section" >&2; exit 1; }
+done
+
+# The admission section must be populated, not an empty stub: its
+# latency percentiles are the mempool front-end's tracked numbers.
+for key in admission_p50_us admission_p99_us dedup_hit_rate shed_rate \
+           verify_pool_occupancy; do
+  grep -q "\"$key\"" BENCH_validation.json \
+    || { echo "error: admission section lost the $key metric" >&2; exit 1; }
 done
 
 echo

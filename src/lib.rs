@@ -18,6 +18,7 @@ pub use bmac_core;
 pub use bmac_hw;
 pub use bmac_protocol;
 pub use fabric_crypto;
+pub use fabric_mempool;
 pub use fabric_node;
 pub use fabric_peer;
 pub use fabric_policy;
