@@ -89,6 +89,8 @@ fn main() {
 
     json.object("durability", bench_durability());
 
+    json.object("statedb", bench_statedb());
+
     json.object("cluster", bench_cluster());
 
     json.object("admission", bench_admission());
@@ -999,6 +1001,7 @@ fn bench_durability() -> JsonObject {
         let config = StoreConfig {
             group_commit: group,
             segment_max_bytes: 1024 * 1024,
+            ..StoreConfig::default()
         };
         let store = FabricStore::open(&dir, config).expect("open durable store");
         let t0 = Instant::now();
@@ -1063,6 +1066,161 @@ fn bench_durability() -> JsonObject {
          durable leg is gated on recovered state == in-memory state)"
     );
     out.array("group_commit_sweep", group_objs);
+    out
+}
+
+/// State-database A/B: the hash-sharded MVCC backend vs the legacy
+/// single-map store, on the loads ROADMAP item 3 cares about — a
+/// million-key preload, smallbank-shaped Zipf(1.0) commit traffic over
+/// that population, and read latency percentiles while a committer
+/// thread keeps applying contended blocks. Every leg is also an
+/// equivalence check: both backends must land bit-identical state
+/// hashes after the deterministic phases.
+fn bench_statedb() -> JsonObject {
+    use fabric_statedb::{StateBackend, StateDb};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use workload::{StatePreload, ZipfCommitLoad};
+
+    heading("statedb: sharded MVCC vs legacy single-map");
+    let preload = StatePreload {
+        keys: 1_000_000,
+        value_len: 8,
+        batch_size: 10_000,
+    };
+    let preload_blocks = preload.keys.div_ceil(preload.batch_size);
+    let zipf = ZipfCommitLoad {
+        population: preload.keys,
+        first_block: preload_blocks,
+        ..ZipfCommitLoad::default()
+    };
+    let zipf_blocks = zipf.blocks();
+    let zipf_txs = (zipf.blocks as usize * zipf.txs_per_block) as f64;
+
+    // Read sample: the keys the contended traffic just wrote (Zipf-hot)
+    // interleaved with uniformly-strided cold keys, so the percentiles
+    // cover both the hot set and the long tail.
+    let mut read_keys: Vec<String> = Vec::new();
+    for (i, (batch, _)) in zipf_blocks.iter().flatten().enumerate() {
+        for (k, _) in batch.iter() {
+            read_keys.push(k.to_string());
+            read_keys.push(StatePreload::key(
+                (i as u64).wrapping_mul(104_729) % preload.keys,
+            ));
+        }
+    }
+
+    // Background commit traffic for the read-latency phase (applied
+    // repeatedly until the reader finishes; heights may repeat, which
+    // both backends accept).
+    let commit_load = ZipfCommitLoad {
+        population: preload.keys,
+        first_block: preload_blocks + zipf.blocks,
+        blocks: 200,
+        seed: 0xFEED_BEEF,
+        ..ZipfCommitLoad::default()
+    };
+    let commit_blocks = commit_load.blocks();
+
+    let mut out = JsonObject::new();
+    out.number("preload_keys", preload.keys as f64);
+    out.number("zipf_exponent", zipf.exponent);
+    out.number("zipf_txs", zipf_txs);
+
+    let mut rows = Vec::new();
+    let mut backend_objs = Vec::new();
+    let mut hashes = Vec::new();
+    for backend in [StateBackend::Sharded, StateBackend::Legacy] {
+        let db = StateDb::with_backend(backend);
+
+        let t0 = Instant::now();
+        preload.load(&db);
+        let preload_us = t0.elapsed().as_micros() as u64;
+        assert_eq!(db.len() as u64, preload.keys, "preload population");
+
+        let t0 = Instant::now();
+        for block in &zipf_blocks {
+            db.apply_block(block);
+        }
+        let zipf_us = t0.elapsed().as_micros() as u64;
+
+        // The deterministic phases must agree across backends; hash now,
+        // before the racy read-load phase perturbs the state.
+        hashes.push((backend, db.state_hash()));
+
+        // Read percentiles under commit load: one committer thread
+        // cycles contended blocks while this thread samples point reads.
+        let stop = AtomicBool::new(false);
+        let mut lat_ns: Vec<u64> = Vec::with_capacity(read_keys.len());
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for block in &commit_blocks {
+                        db.apply_block(block);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                }
+            });
+            for key in &read_keys {
+                let t0 = Instant::now();
+                let hit = db.get(key);
+                lat_ns.push(t0.elapsed().as_nanos() as u64);
+                assert!(hit.is_some(), "preloaded key {key} must stay readable");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        lat_ns.sort_unstable();
+        let pct = |p: f64| lat_ns[((lat_ns.len() - 1) as f64 * p) as usize] as f64 / 1_000.0;
+        let (p50, p99) = (pct(0.50), pct(0.99));
+
+        let preload_keys_per_s = preload.keys as f64 * 1e6 / preload_us.max(1) as f64;
+        let zipf_txs_per_s = zipf_txs * 1e6 / zipf_us.max(1) as f64;
+        rows.push(vec![
+            backend.to_string(),
+            format!("{:.2} s", preload_us as f64 / 1e6),
+            format!("{preload_keys_per_s:.0}"),
+            format!("{zipf_txs_per_s:.0}"),
+            format!("{p50:.2} µs"),
+            format!("{p99:.2} µs"),
+        ]);
+        let mut o = JsonObject::new();
+        o.raw("backend", &format!("\"{backend}\""));
+        o.number("preload_us", preload_us as f64);
+        o.number("preload_keys_per_s", preload_keys_per_s);
+        o.number("zipf_commit_us", zipf_us as f64);
+        o.number("zipf_txs_per_s", zipf_txs_per_s);
+        o.number("read_p50_us", p50);
+        o.number("read_p99_us", p99);
+        o.number("reads_sampled", lat_ns.len() as f64);
+        backend_objs.push(o);
+    }
+    table(
+        &[
+            "backend",
+            "preload wall",
+            "preload keys/s",
+            "zipf txs/s",
+            "read p50",
+            "read p99",
+        ],
+        &rows,
+    );
+    println!(
+        "(1M-key preload + Zipf(1.0) smallbank commits; read percentiles sampled \
+         against a live committer thread, so they price reader/committer \
+         interference — and both backends are gated on identical state hashes \
+         after the deterministic phases)"
+    );
+
+    let (b0, h0) = hashes[0];
+    let (b1, h1) = hashes[1];
+    assert_eq!(
+        h0, h1,
+        "state hash diverged: {b0}={h0:#018x} vs {b1}={h1:#018x}"
+    );
+    out.raw("backends_state_hash_equal", "true");
+    out.array("backends", backend_objs);
     out
 }
 

@@ -42,7 +42,17 @@ impl SerialOracle {
     /// its own blocks, and they need the same serial ground truth as a
     /// pregenerated stream.
     pub fn from_blocks(scenario: &StreamScenario, blocks: Vec<Block>) -> Self {
-        let serial = ValidatorPipeline::new(scenario.validator_msp(), scenario.policies(), 2);
+        // The oracle's replay is pinned to the *legacy* state backend
+        // while the audited peers run the process default (sharded
+        // unless overridden) — every audit whose state comparison
+        // passes is therefore also a cross-backend differential check,
+        // the same convention the fp256/fq256 oracles follow.
+        let serial = ValidatorPipeline::with_state_backend(
+            scenario.validator_msp(),
+            scenario.policies(),
+            2,
+            fabric_statedb::StateBackend::Legacy,
+        );
         let mut codes = Vec::new();
         let mut commit_hashes = Vec::new();
         let mut snapshots = vec![serial.state_db().snapshot()];

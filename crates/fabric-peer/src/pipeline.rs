@@ -55,7 +55,7 @@ use fabric_ledger::{Ledger, LedgerError, TxValidationCode};
 use fabric_policy::Policy;
 use fabric_protos::messages::Block;
 use fabric_protos::txflow::{decode_block_struct, DecodedBlock};
-use fabric_statedb::{Height, StateDb, WriteBatch};
+use fabric_statedb::{Height, StateBackend, StateDb, WriteBatch};
 
 use crate::sigcache::{Claim, SigCacheKey, SigCacheStats, SignatureCache};
 
@@ -178,6 +178,32 @@ impl ValidatorPipeline {
     /// Panics if `workers == 0`.
     pub fn new(msp: Msp, policies: HashMap<String, Policy>, workers: usize) -> Self {
         Self::with_cache_capacity(msp, policies, workers, DEFAULT_SIG_CACHE_CAPACITY)
+    }
+
+    /// Creates a validator like [`ValidatorPipeline::new`] but with its
+    /// state database on an explicit backend instead of the process
+    /// default — the differential-audit constructor: the cluster
+    /// harness's serial oracle pins its replay to the legacy store
+    /// while peers run whatever `FABRIC_STATE_BACKEND` selects, so an
+    /// audit pass is also a cross-backend equivalence check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn with_state_backend(
+        msp: Msp,
+        policies: HashMap<String, Policy>,
+        workers: usize,
+        backend: StateBackend,
+    ) -> Self {
+        Self::with_storage(
+            msp,
+            policies,
+            workers,
+            DEFAULT_SIG_CACHE_CAPACITY,
+            StateDb::with_backend(backend),
+            Ledger::new(),
+        )
     }
 
     /// Creates a validator with an explicit signature-cache capacity
@@ -429,6 +455,11 @@ impl ValidatorPipeline {
             decoded.number,
             self.state_db.tip_height(),
         );
+        // One batch per valid transaction — including empty write sets,
+        // because a durable journal counts one record per valid tx —
+        // handed to the state DB as a single block so the sharded
+        // backend can fan the apply out over disjoint shards.
+        let mut batches: Vec<(WriteBatch, Height)> = Vec::new();
         for (i, tx) in decoded.txs.iter().enumerate() {
             if codes[i] != TxValidationCode::Valid {
                 continue;
@@ -437,9 +468,9 @@ impl ValidatorPipeline {
             for (k, v) in &tx.writes {
                 batch.put(k.clone(), v.clone());
             }
-            self.state_db
-                .apply(&batch, Height::new(decoded.number, i as u64));
+            batches.push((batch, Height::new(decoded.number, i as u64)));
         }
+        self.state_db.apply_block(&batches);
         timings.statedb_commit_us = t0.elapsed().as_micros() as u64;
 
         // Step 4b/5: ledger commit + history.

@@ -7,23 +7,60 @@
 //! version observed at endorsement time against the current version
 //! (paper §2.1.2 step 3).
 //!
-//! Two stores are provided:
+//! Three stores are provided:
 //!
 //! * [`StateDb`] — the unbounded, thread-safe store used by software
-//!   peers;
+//!   peers. Since the sharded-MVCC rework it is a *facade* over two
+//!   interchangeable backends (see below);
+//! * [`LegacyStateDb`] — the original single-map-single-lock store,
+//!   kept fully compiled as the **differential oracle** (the
+//!   fp256/fq256 convention: the old path stays selectable so the
+//!   equivalence harness can hold the new one to bit-identical
+//!   results);
+//! * [`ShardedStateDb`] — the hash-sharded MVCC store: per-shard
+//!   version-chained maps so reads can pin a height snapshot without
+//!   blocking the committer, a k-way merged ordered index preserving
+//!   range/prefix scans, and per-shard write batches so a block's
+//!   commit goes wide over disjoint shards;
 //! * [`BoundedStateDb`] — a capacity-limited store with an explicit
 //!   read/write-lock discipline, modeling the in-hardware BRAM/URAM
-//!   key-value store of the Blockchain Machine (paper §3.3: 8192 entries,
-//!   "internal locking mechanism to disallow reading of a key if it is
-//!   currently being written").
+//!   key-value store of the Blockchain Machine (paper §3.3: 8192
+//!   entries, "internal locking mechanism to disallow reading of a key
+//!   if it is currently being written").
+//!
+//! # Selecting a backend
+//!
+//! [`StateDb::new`] consults [`default_state_backend`]:
+//!
+//! 1. the `FABRIC_STATE_BACKEND` environment variable
+//!    (`sharded` | `legacy`) decides — this is how the CI matrix and
+//!    the benchmark's A/B runs drive both backends;
+//! 2. otherwise the `legacy-state-default` cargo feature makes the
+//!    legacy store the fallback for builds that want the oracle
+//!    without touching the environment;
+//! 3. otherwise sharded.
+//!
+//! Both backends answer the *same* API with the same semantics for
+//! every sequential interleaving of `apply`/`get`/`range`/`snapshot` —
+//! asserted by the proptest differential harness in
+//! `tests/tests/statedb_equivalence.rs` (bit-identical state hashes,
+//! MVCC flags, and range-scan results on randomized batches). They
+//! differ under concurrency: the sharded store's [`StateDb::pin`]
+//! snapshot reads proceed while the committer applies batches, where
+//! the legacy store materializes the snapshot up front.
 
 #![warn(missing_docs)]
 
-use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+mod bounded;
+mod legacy;
+mod sharded;
+
+pub use bounded::{BoundedDbError, BoundedStateDb, HW_DB_DEFAULT_CAPACITY};
+pub use legacy::{LegacySnapshotChunks, LegacyStateDb, SNAPSHOT_CHUNK};
+pub use sharded::{ShardedSnapshot, ShardedSnapshotChunks, ShardedStateDb, DEFAULT_SHARDS};
 
 /// A `(block, tx)` height: the version tag Fabric stores with each value
 /// ("its version created from block number and transaction sequence
@@ -122,6 +159,15 @@ impl Extend<(String, Option<Vec<u8>>)> for WriteBatch {
 /// batches are journaled too: recovery counts one record per valid
 /// transaction, including transactions with empty write sets.
 ///
+/// **Record order is apply order** on both backends. The legacy store
+/// records under the same write lock that orders the in-memory apply;
+/// the sharded store records under its commit-order mutex, which is
+/// held across the whole (possibly shard-parallel) apply — so even when
+/// a block's batches fan out over shards concurrently, the journal sees
+/// them in exact commit order and a replay reproduces the state
+/// byte-for-byte (`journal_order_is_apply_order_under_parallel_commit`
+/// in the equivalence harness).
+///
 /// Sinks must be infallible from the caller's perspective; a durable
 /// implementation that cannot write its journal should panic rather
 /// than let commits proceed unlogged.
@@ -145,10 +191,59 @@ pub struct StateDbStats {
     pub misses: u64,
 }
 
-/// The unbounded, thread-safe versioned store used by software peers.
+/// Which state-database implementation a [`StateDb`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateBackend {
+    /// Hash-sharded MVCC store (per-shard version chains, pinned
+    /// snapshot reads, wide block commit).
+    Sharded,
+    /// The original single-map store, kept as the differential oracle.
+    Legacy,
+}
+
+impl StateBackend {
+    /// Stable lowercase name, as used by `FABRIC_STATE_BACKEND` and the
+    /// benchmark JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StateBackend::Sharded => "sharded",
+            StateBackend::Legacy => "legacy",
+        }
+    }
+}
+
+impl fmt::Display for StateBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Resolves the backend [`StateDb::new`] should use (see the module
+/// docs for precedence). An explicit `FABRIC_STATE_BACKEND` always
+/// wins; the `legacy-state-default` feature only changes the fallback
+/// when the env var is unset.
 ///
-/// Cloning is cheap: clones share the same underlying map, matching how a
-/// peer's components all see one state database.
+/// # Panics
+///
+/// Panics when `FABRIC_STATE_BACKEND` is set to an unknown value —
+/// silently falling back would make an A/B run measure the wrong thing.
+pub fn default_state_backend() -> StateBackend {
+    match std::env::var("FABRIC_STATE_BACKEND") {
+        Ok(v) if v.eq_ignore_ascii_case("sharded") => StateBackend::Sharded,
+        Ok(v) if v.eq_ignore_ascii_case("legacy") => StateBackend::Legacy,
+        Ok(other) => {
+            panic!("FABRIC_STATE_BACKEND must be \"sharded\" or \"legacy\", got {other:?}")
+        }
+        Err(_) if cfg!(feature = "legacy-state-default") => StateBackend::Legacy,
+        Err(_) => StateBackend::Sharded,
+    }
+}
+
+/// The unbounded, thread-safe versioned store used by software peers —
+/// a facade dispatching to the configured [`StateBackend`].
+///
+/// Cloning is cheap: clones share the same underlying maps, matching
+/// how a peer's components all see one state database.
 ///
 /// ```
 /// use fabric_statedb::{Height, StateDb, WriteBatch};
@@ -158,43 +253,93 @@ pub struct StateDbStats {
 /// db.apply(&batch, Height::new(1, 0));
 /// assert_eq!(db.get("k").unwrap().value, b"v");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StateDb {
-    inner: Arc<RwLock<Inner>>,
+    inner: Backend,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    map: BTreeMap<String, VersionedValue>,
-    stats: StateDbStats,
-    /// High-water mark of heights passed to [`StateDb::apply`]. The
-    /// validator's commit stage debug-asserts against it that block
-    /// writes land in strictly increasing block order (the invariant the
-    /// streaming commit sequencer exists to preserve).
-    tip: Option<Height>,
-    /// Optional write-ahead journal; [`StateDb::apply`] forwards every
-    /// batch here before mutating the map.
-    journal: Option<Arc<dyn JournalSink>>,
+#[derive(Debug, Clone)]
+enum Backend {
+    Legacy(LegacyStateDb),
+    Sharded(ShardedStateDb),
+}
+
+impl Default for StateDb {
+    fn default() -> Self {
+        StateDb::new()
+    }
 }
 
 impl StateDb {
-    /// Creates an empty database.
+    /// Creates an empty database on the process-default backend (see
+    /// [`default_state_backend`]).
     pub fn new() -> Self {
-        StateDb::default()
+        StateDb::with_backend(default_state_backend())
     }
 
-    /// Rebuilds a database from a checkpoint snapshot: the entries of a
-    /// previous [`StateDb::snapshot`] plus the tip height recorded with
-    /// it. The journal replay that follows a snapshot restore continues
-    /// from this tip.
-    pub fn from_snapshot(entries: Vec<(String, VersionedValue)>, tip: Option<Height>) -> Self {
+    /// Creates an empty database on an explicit backend — how the
+    /// differential harness constructs its oracle/subject pair without
+    /// touching the environment.
+    pub fn with_backend(backend: StateBackend) -> Self {
+        let inner = match backend {
+            StateBackend::Legacy => Backend::Legacy(LegacyStateDb::new()),
+            StateBackend::Sharded => Backend::Sharded(ShardedStateDb::new()),
+        };
+        StateDb { inner }
+    }
+
+    /// Creates an empty *sharded* database with an explicit shard count
+    /// (shard-count independence is itself a tested property; the
+    /// default is [`DEFAULT_SHARDS`]).
+    pub fn sharded_with_shards(shards: usize) -> Self {
         StateDb {
-            inner: Arc::new(RwLock::new(Inner {
-                map: entries.into_iter().collect(),
-                stats: StateDbStats::default(),
-                tip,
-                journal: None,
-            })),
+            inner: Backend::Sharded(ShardedStateDb::with_shards(shards)),
+        }
+    }
+
+    /// Wraps an existing legacy store in the facade.
+    pub fn from_legacy(db: LegacyStateDb) -> Self {
+        StateDb {
+            inner: Backend::Legacy(db),
+        }
+    }
+
+    /// Wraps an existing sharded store in the facade.
+    pub fn from_sharded(db: ShardedStateDb) -> Self {
+        StateDb {
+            inner: Backend::Sharded(db),
+        }
+    }
+
+    /// Rebuilds a database from a checkpoint snapshot on the
+    /// process-default backend: the entries of a previous
+    /// [`StateDb::snapshot`] plus the tip height recorded with it. The
+    /// journal replay that follows a snapshot restore continues from
+    /// this tip. Snapshot entries are an ordered, backend-independent
+    /// dump, so a checkpoint written by one backend restores into the
+    /// other (the recovery cross-check relies on this).
+    pub fn from_snapshot(entries: Vec<(String, VersionedValue)>, tip: Option<Height>) -> Self {
+        Self::from_snapshot_with_backend(default_state_backend(), entries, tip)
+    }
+
+    /// [`StateDb::from_snapshot`] on an explicit backend.
+    pub fn from_snapshot_with_backend(
+        backend: StateBackend,
+        entries: Vec<(String, VersionedValue)>,
+        tip: Option<Height>,
+    ) -> Self {
+        let inner = match backend {
+            StateBackend::Legacy => Backend::Legacy(LegacyStateDb::from_snapshot(entries, tip)),
+            StateBackend::Sharded => Backend::Sharded(ShardedStateDb::from_snapshot(entries, tip)),
+        };
+        StateDb { inner }
+    }
+
+    /// The backend this database dispatches to.
+    pub fn backend(&self) -> StateBackend {
+        match &self.inner {
+            Backend::Legacy(_) => StateBackend::Legacy,
+            Backend::Sharded(_) => StateBackend::Sharded,
         }
     }
 
@@ -203,27 +348,27 @@ impl StateDb {
     /// Attach *after* recovery replay so replayed batches are not
     /// re-journaled.
     pub fn attach_journal(&self, sink: Arc<dyn JournalSink>) {
-        self.inner.write().journal = Some(sink);
+        match &self.inner {
+            Backend::Legacy(db) => db.attach_journal(sink),
+            Backend::Sharded(db) => db.attach_journal(sink),
+        }
     }
 
     /// Flushes the attached journal (a no-op without one): the durable
     /// group-commit boundary.
     pub fn flush_journal(&self) {
-        let sink = self.inner.read().journal.clone();
-        if let Some(sink) = sink {
-            sink.flush();
+        match &self.inner {
+            Backend::Legacy(db) => db.flush_journal(),
+            Backend::Sharded(db) => db.flush_journal(),
         }
     }
 
     /// Point read of the current value and version.
     pub fn get(&self, key: &str) -> Option<VersionedValue> {
-        let mut g = self.inner.write();
-        g.stats.reads += 1;
-        let hit = g.map.get(key).cloned();
-        if hit.is_none() {
-            g.stats.misses += 1;
+        match &self.inner {
+            Backend::Legacy(db) => db.get(key),
+            Backend::Sharded(db) => db.get(key),
         }
-        hit
     }
 
     /// Reads just the version (the MVCC hot path).
@@ -232,62 +377,62 @@ impl StateDb {
     }
 
     /// Applies a write batch, stamping every entry at `height`. With a
-    /// journal attached the batch is recorded first (write-ahead), under
-    /// the same lock that orders the in-memory apply — so the journal's
-    /// record order is exactly the apply order. Sinks must not call back
-    /// into this database.
+    /// journal attached the batch is recorded first (write-ahead),
+    /// under the lock that orders commits — so the journal's record
+    /// order is exactly the apply order. Sinks must not call back into
+    /// this database.
     pub fn apply(&self, batch: &WriteBatch, height: Height) {
-        let mut g = self.inner.write();
-        if let Some(journal) = &g.journal {
-            journal.record(batch, height);
+        match &self.inner {
+            Backend::Legacy(db) => db.apply(batch, height),
+            Backend::Sharded(db) => db.apply(batch, height),
         }
-        Self::apply_locked(&mut g, batch, height);
+    }
+
+    /// Applies one block's worth of per-transaction batches in commit
+    /// order — the streaming validator's commit stage calls this once
+    /// per block. Journal records are emitted for *every* batch
+    /// (including empty ones: recovery counts one record per valid
+    /// transaction) in exact batch order; on the sharded backend the
+    /// in-memory apply then fans out over disjoint shards concurrently,
+    /// which is the "commit stage goes wide" half of the MVCC rework.
+    /// Equivalent to `for (b, h) in batches { self.apply(b, h) }` on
+    /// any backend.
+    pub fn apply_block(&self, batches: &[(WriteBatch, Height)]) {
+        match &self.inner {
+            Backend::Legacy(db) => {
+                for (batch, height) in batches {
+                    db.apply(batch, *height);
+                }
+            }
+            Backend::Sharded(db) => db.apply_block(batches),
+        }
     }
 
     /// Re-applies a journaled batch during recovery: identical to
     /// [`StateDb::apply`] except the batch is *never* forwarded to an
     /// attached journal (replaying must not re-journal).
     pub fn replay(&self, batch: &WriteBatch, height: Height) {
-        let mut g = self.inner.write();
-        Self::apply_locked(&mut g, batch, height);
-    }
-
-    fn apply_locked(g: &mut Inner, batch: &WriteBatch, height: Height) {
-        g.tip = Some(match g.tip {
-            Some(tip) => tip.max(height),
-            None => height,
-        });
-        for (key, value) in batch.iter() {
-            g.stats.writes += 1;
-            match value {
-                Some(v) => {
-                    g.map.insert(
-                        key.to_string(),
-                        VersionedValue {
-                            value: v.to_vec(),
-                            version: height,
-                        },
-                    );
-                }
-                None => {
-                    g.map.remove(key);
-                }
-            }
+        match &self.inner {
+            Backend::Legacy(db) => db.replay(batch, height),
+            Backend::Sharded(db) => db.replay(batch, height),
         }
     }
 
-    /// Range scan over `[start, end)`, in key order.
+    /// Range scan over `[start, end)`, in key order. On the sharded
+    /// backend this is a k-way merge across the per-shard ordered maps.
     pub fn range(&self, start: &str, end: &str) -> Vec<(String, VersionedValue)> {
-        let g = self.inner.read();
-        g.map
-            .range(start.to_string()..end.to_string())
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        match &self.inner {
+            Backend::Legacy(db) => db.range(start, end),
+            Backend::Sharded(db) => db.range(start, end),
+        }
     }
 
     /// Number of live keys.
     pub fn len(&self) -> usize {
-        self.inner.read().map.len()
+        match &self.inner {
+            Backend::Legacy(db) => db.len(),
+            Backend::Sharded(db) => db.len(),
+        }
     }
 
     /// Whether the store has no keys.
@@ -297,7 +442,10 @@ impl StateDb {
 
     /// Snapshot of the statistics counters.
     pub fn stats(&self) -> StateDbStats {
-        self.inner.read().stats
+        match &self.inner {
+            Backend::Legacy(db) => db.stats(),
+            Backend::Sharded(db) => db.stats(),
+        }
     }
 
     /// Highest height ever passed to [`StateDb::apply`], or `None` for a
@@ -305,43 +453,79 @@ impl StateDb {
     /// monotone, so this is "the visibility horizon": a reader at this
     /// height sees every committed write.
     pub fn tip_height(&self) -> Option<Height> {
-        self.inner.read().tip
+        match &self.inner {
+            Backend::Legacy(db) => db.tip_height(),
+            Backend::Sharded(db) => db.tip_height(),
+        }
     }
 
     /// Full ordered dump of the live keys with values and versions — the
     /// serial-equivalence harness compares final database contents with
     /// this (a `range` over the whole keyspace would need a sentinel
-    /// upper bound).
-    ///
-    /// The dump is assembled from bounded chunks
-    /// ([`SNAPSHOT_CHUNK`] entries per lock acquisition, see
+    /// upper bound). Assembled from bounded chunks (see
     /// [`StateDb::snapshot_chunks`]), so a checkpoint of a large store
-    /// no longer stalls concurrent [`StateDb::apply`] writers for the
-    /// whole copy. Quiesced (no concurrent writers) the result is an
-    /// exact point-in-time image; under concurrency it is a *fuzzy*
-    /// snapshot — consistent per chunk, and callers needing exactness
-    /// (crash recovery) must replay a journal tail over it, which is
-    /// precisely what `fabric-store` checkpointing does.
+    /// does not stall concurrent writers for the whole copy.
     pub fn snapshot(&self) -> Vec<(String, VersionedValue)> {
         self.snapshot_chunks(SNAPSHOT_CHUNK).flatten().collect()
     }
 
-    /// Chunked snapshot iterator: each `next()` acquires the read lock,
-    /// clones up to `chunk` entries starting after the previous chunk's
-    /// last key, and releases the lock — writers interleave freely
+    /// Chunked snapshot iterator: each `next()` takes the relevant
+    /// locks, clones up to `chunk` entries starting after the previous
+    /// chunk's last key, and releases them — writers interleave freely
     /// between chunks. Keys are yielded in ascending order; a key
-    /// inserted *behind* the cursor mid-scan is not revisited.
+    /// inserted *behind* the cursor mid-scan is not revisited. On the
+    /// sharded backend each chunk k-way merges the per-shard tails.
     ///
     /// # Panics
     ///
     /// Panics if `chunk == 0`.
     pub fn snapshot_chunks(&self, chunk: usize) -> SnapshotChunks {
-        assert!(chunk > 0, "snapshot chunk size must be non-zero");
-        SnapshotChunks {
-            db: self.clone(),
-            cursor: None,
-            chunk,
-            done: false,
+        match &self.inner {
+            Backend::Legacy(db) => SnapshotChunks::Legacy(db.snapshot_chunks(chunk)),
+            Backend::Sharded(db) => SnapshotChunks::Sharded(db.snapshot_chunks(chunk)),
+        }
+    }
+
+    /// Deterministic 64-bit digest (FNV-1a) of the full ordered dump —
+    /// keys, values, and versions. Backend-independent by construction,
+    /// which is what the differential harness and the recovery
+    /// cross-check assert: equal state hashes ⇔ bit-identical stores.
+    pub fn state_hash(&self) -> u64 {
+        let mut hash = FNV_OFFSET;
+        for chunk in self.snapshot_chunks(SNAPSHOT_CHUNK) {
+            for (key, v) in &chunk {
+                hash = fnv1a(hash, &(key.len() as u64).to_le_bytes());
+                hash = fnv1a(hash, key.as_bytes());
+                hash = fnv1a(hash, &(v.value.len() as u64).to_le_bytes());
+                hash = fnv1a(hash, &v.value);
+                hash = fnv1a(hash, &v.version.block_num.to_le_bytes());
+                hash = fnv1a(hash, &v.version.tx_num.to_le_bytes());
+            }
+        }
+        hash
+    }
+
+    /// Pins a read snapshot at the current *committed* height: every
+    /// read through the returned handle observes exactly the state as
+    /// of that height, whatever the committer applies afterwards.
+    ///
+    /// On the sharded backend this is the MVCC fast path — the pin
+    /// registers in O(1), readers resolve against per-key version
+    /// chains, and version pruning is fenced below the oldest live pin.
+    /// On the legacy backend the snapshot is materialized up front
+    /// (O(n)) — which makes it the *ground truth* the differential
+    /// harness holds sharded pinned reads to.
+    pub fn pin(&self) -> StateSnapshot {
+        match &self.inner {
+            Backend::Legacy(db) => {
+                let (height, map) = db.pin_materialized();
+                StateSnapshot {
+                    inner: SnapInner::Legacy { height, map },
+                }
+            }
+            Backend::Sharded(db) => StateSnapshot {
+                inner: SnapInner::Sharded(db.pin()),
+            },
         }
     }
 
@@ -357,214 +541,102 @@ impl StateDb {
     }
 }
 
-/// Entries cloned per lock acquisition by [`StateDb::snapshot`]: large
-/// enough to amortize the lock round-trip, small enough that a writer
-/// blocked behind a chunk waits microseconds, not the whole copy.
-pub const SNAPSHOT_CHUNK: usize = 1024;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Iterator over bounded snapshot chunks of a [`StateDb`]; see
 /// [`StateDb::snapshot_chunks`].
 #[derive(Debug)]
-pub struct SnapshotChunks {
-    db: StateDb,
-    /// Last key yielded by the previous chunk; the next chunk resumes
-    /// strictly after it.
-    cursor: Option<String>,
-    chunk: usize,
-    done: bool,
+pub enum SnapshotChunks {
+    /// Chunks off the legacy single map.
+    Legacy(LegacySnapshotChunks),
+    /// Chunks k-way merged across shards.
+    Sharded(ShardedSnapshotChunks),
 }
 
 impl Iterator for SnapshotChunks {
     type Item = Vec<(String, VersionedValue)>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        if self.done {
-            return None;
-        }
-        let batch: Vec<(String, VersionedValue)> = {
-            let g = self.db.inner.read();
-            let range = match &self.cursor {
-                Some(last) => g.map.range::<str, _>((
-                    std::ops::Bound::Excluded(last.as_str()),
-                    std::ops::Bound::Unbounded,
-                )),
-                None => g.map.range::<str, _>((
-                    std::ops::Bound::<&str>::Unbounded,
-                    std::ops::Bound::Unbounded,
-                )),
-            };
-            range
-                .take(self.chunk)
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect()
-        };
-        if batch.len() < self.chunk {
-            self.done = true;
-        }
-        let last = batch.last()?;
-        self.cursor = Some(last.0.clone());
-        Some(batch)
-    }
-}
-
-/// Outcome of a bounded-store operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BoundedDbError {
-    /// The store is at capacity and the key was not already present.
-    Full {
-        /// Configured entry capacity.
-        capacity: usize,
-    },
-    /// The key is currently locked by a writer.
-    Locked,
-}
-
-impl fmt::Display for BoundedDbError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BoundedDbError::Full { capacity } => {
-                write!(f, "in-hardware state database full ({capacity} entries)")
-            }
-            BoundedDbError::Locked => write!(f, "key is locked by an in-flight write"),
+            SnapshotChunks::Legacy(it) => it.next(),
+            SnapshotChunks::Sharded(it) => it.next(),
         }
     }
 }
 
-impl std::error::Error for BoundedDbError {}
-
-/// Capacity-limited store modeling the Blockchain Machine's in-hardware
-/// database (BRAM/URAM, 8192 entries in the paper's configuration).
+/// A height-pinned read view of a [`StateDb`]; see [`StateDb::pin`].
 ///
-/// Writes take a per-key lock for the duration of
-/// [`BoundedStateDb::begin_write`] .. [`BoundedStateDb::finish_write`];
-/// reads of a locked key fail with [`BoundedDbError::Locked`],
-/// reproducing the hardware's "internal locking mechanism to disallow
-/// reading of a key if it is currently being written" (paper §3.3).
+/// Reads never observe a torn batch: the pinned height is the commit
+/// high-water mark at pin time, and every write at or below it was
+/// fully applied before that mark advanced. Reads through this handle
+/// do not touch the statistics counters.
 #[derive(Debug)]
-pub struct BoundedStateDb {
-    map: BTreeMap<String, VersionedValue>,
-    locked: std::collections::HashSet<String>,
-    capacity: usize,
-    stats: StateDbStats,
+pub struct StateSnapshot {
+    inner: SnapInner,
 }
 
-/// The paper's configured in-hardware database capacity (§4.1).
-pub const HW_DB_DEFAULT_CAPACITY: usize = 8192;
-
-impl BoundedStateDb {
-    /// Creates a store holding at most `capacity` entries.
-    pub fn new(capacity: usize) -> Self {
-        BoundedStateDb {
-            map: BTreeMap::new(),
-            locked: std::collections::HashSet::new(),
-            capacity,
-            stats: StateDbStats::default(),
-        }
-    }
-
-    /// Point read; fails when the key is write-locked.
-    ///
-    /// # Errors
-    ///
-    /// [`BoundedDbError::Locked`] if a write is in flight on `key`.
-    pub fn get(&mut self, key: &str) -> Result<Option<VersionedValue>, BoundedDbError> {
-        if self.locked.contains(key) {
-            return Err(BoundedDbError::Locked);
-        }
-        self.stats.reads += 1;
-        let hit = self.map.get(key).cloned();
-        if hit.is_none() {
-            self.stats.misses += 1;
-        }
-        Ok(hit)
-    }
-
-    /// Reads just the version.
-    ///
-    /// # Errors
-    ///
-    /// [`BoundedDbError::Locked`] if a write is in flight on `key`.
-    pub fn get_version(&mut self, key: &str) -> Result<Option<Height>, BoundedDbError> {
-        Ok(self.get(key)?.map(|v| v.version))
-    }
-
-    /// Acquires the write lock on `key` (the hardware write port claiming
-    /// the address).
-    ///
-    /// # Errors
-    ///
-    /// [`BoundedDbError::Locked`] when already locked, or
-    /// [`BoundedDbError::Full`] when the key is new and capacity is
-    /// exhausted.
-    pub fn begin_write(&mut self, key: &str) -> Result<(), BoundedDbError> {
-        if self.locked.contains(key) {
-            return Err(BoundedDbError::Locked);
-        }
-        if !self.map.contains_key(key) && self.map.len() + self.locked.len() >= self.capacity {
-            return Err(BoundedDbError::Full {
-                capacity: self.capacity,
-            });
-        }
-        self.locked.insert(key.to_string());
-        Ok(())
-    }
-
-    /// Completes a write started with [`BoundedStateDb::begin_write`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the key was not locked — that is a protocol bug in the
-    /// caller, not a runtime condition.
-    pub fn finish_write(&mut self, key: &str, value: Vec<u8>, version: Height) {
-        assert!(
-            self.locked.remove(key),
-            "finish_write without begin_write: {key}"
-        );
-        self.stats.writes += 1;
-        self.map
-            .insert(key.to_string(), VersionedValue { value, version });
-    }
-
-    /// Convenience: locked write in one call.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`BoundedStateDb::begin_write`].
-    pub fn put(
-        &mut self,
-        key: &str,
-        value: Vec<u8>,
-        version: Height,
-    ) -> Result<(), BoundedDbError> {
-        self.begin_write(key)?;
-        self.finish_write(key, value, version);
-        Ok(())
-    }
-
-    /// Number of committed entries.
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    /// Whether the store has no entries.
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-
-    /// Configured capacity.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Snapshot of the statistics counters.
-    pub fn stats(&self) -> StateDbStats {
-        self.stats
-    }
+#[derive(Debug)]
+enum SnapInner {
+    Legacy {
+        height: Option<Height>,
+        /// Ordered materialized dump (the oracle side).
+        map: Vec<(String, VersionedValue)>,
+    },
+    Sharded(ShardedSnapshot),
 }
 
-impl Default for BoundedStateDb {
-    fn default() -> Self {
-        BoundedStateDb::new(HW_DB_DEFAULT_CAPACITY)
+impl StateSnapshot {
+    /// The height this snapshot is pinned at (`None` = pre-genesis:
+    /// every read sees an empty store).
+    pub fn height(&self) -> Option<Height> {
+        match &self.inner {
+            SnapInner::Legacy { height, .. } => *height,
+            SnapInner::Sharded(s) => s.height(),
+        }
+    }
+
+    /// Point read as of the pinned height.
+    pub fn get(&self, key: &str) -> Option<VersionedValue> {
+        match &self.inner {
+            SnapInner::Legacy { map, .. } => map
+                .binary_search_by(|(k, _)| k.as_str().cmp(key))
+                .ok()
+                .map(|i| map[i].1.clone()),
+            SnapInner::Sharded(s) => s.get(key),
+        }
+    }
+
+    /// Version-only read as of the pinned height.
+    pub fn get_version(&self, key: &str) -> Option<Height> {
+        self.get(key).map(|v| v.version)
+    }
+
+    /// Range scan over `[start, end)` as of the pinned height.
+    pub fn range(&self, start: &str, end: &str) -> Vec<(String, VersionedValue)> {
+        match &self.inner {
+            SnapInner::Legacy { map, .. } => map
+                .iter()
+                .filter(|(k, _)| k.as_str() >= start && k.as_str() < end)
+                .cloned()
+                .collect(),
+            SnapInner::Sharded(s) => s.range(start, end),
+        }
+    }
+
+    /// Full ordered dump as of the pinned height.
+    pub fn snapshot(&self) -> Vec<(String, VersionedValue)> {
+        match &self.inner {
+            SnapInner::Legacy { map, .. } => map.clone(),
+            SnapInner::Sharded(s) => s.snapshot(),
+        }
     }
 }
 
@@ -572,264 +644,159 @@ impl Default for BoundedStateDb {
 mod tests {
     use super::*;
 
-    #[test]
-    fn put_get_roundtrip() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        b.put("a", b"1".to_vec());
-        db.apply(&b, Height::new(1, 0));
-        assert_eq!(db.get("a").unwrap().value, b"1");
-        assert_eq!(db.get_version("a"), Some(Height::new(1, 0)));
-        assert_eq!(db.get("missing"), None);
+    fn both() -> [StateDb; 2] {
+        [
+            StateDb::with_backend(StateBackend::Legacy),
+            StateDb::with_backend(StateBackend::Sharded),
+        ]
     }
 
     #[test]
-    fn later_write_bumps_version() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        b.put("a", b"1".to_vec());
-        db.apply(&b, Height::new(1, 0));
-        db.apply(&b, Height::new(2, 3));
-        assert_eq!(db.get_version("a"), Some(Height::new(2, 3)));
-    }
-
-    #[test]
-    fn delete_removes_key() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        b.put("a", b"1".to_vec());
-        db.apply(&b, Height::new(1, 0));
-        let mut d = WriteBatch::new();
-        d.delete("a");
-        db.apply(&d, Height::new(2, 0));
-        assert_eq!(db.get("a"), None);
-    }
-
-    #[test]
-    fn mvcc_validation_semantics() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        b.put("a", b"1".to_vec());
-        db.apply(&b, Height::new(1, 0));
-        // matching version -> valid
-        assert!(db.mvcc_validate(&[("a".into(), Some(Height::new(1, 0)))]));
-        // stale version -> conflict
-        assert!(!db.mvcc_validate(&[("a".into(), Some(Height::new(0, 0)))]));
-        // read of a missing key expected missing -> valid
-        assert!(db.mvcc_validate(&[("nope".into(), None)]));
-        // key appeared since endorsement -> conflict
-        assert!(!db.mvcc_validate(&[("a".into(), None)]));
-    }
-
-    #[test]
-    fn range_scan_is_ordered() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        for k in ["b", "a", "c", "d"] {
-            b.put(k, k.as_bytes().to_vec());
-        }
-        db.apply(&b, Height::new(1, 0));
-        let keys: Vec<String> = db.range("a", "d").into_iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec!["a", "b", "c"]);
-    }
-
-    #[test]
-    fn stats_track_reads_and_misses() {
-        let db = StateDb::new();
-        db.get("x");
-        let mut b = WriteBatch::new();
-        b.put("x", vec![1]);
-        db.apply(&b, Height::new(1, 0));
-        db.get("x");
-        let s = db.stats();
-        assert_eq!(s.reads, 2);
-        assert_eq!(s.misses, 1);
-        assert_eq!(s.writes, 1);
-    }
-
-    #[test]
-    fn clones_share_state() {
-        let db = StateDb::new();
-        let db2 = db.clone();
-        let mut b = WriteBatch::new();
-        b.put("k", vec![7]);
-        db.apply(&b, Height::new(1, 0));
-        assert_eq!(db2.get("k").unwrap().value, vec![7]);
-    }
-
-    #[test]
-    fn bounded_capacity_enforced() {
-        let mut db = BoundedStateDb::new(2);
-        db.put("a", vec![1], Height::new(1, 0)).unwrap();
-        db.put("b", vec![2], Height::new(1, 1)).unwrap();
-        assert_eq!(
-            db.put("c", vec![3], Height::new(1, 2)),
-            Err(BoundedDbError::Full { capacity: 2 })
-        );
-        // overwriting an existing key is fine at capacity
-        db.put("a", vec![9], Height::new(2, 0)).unwrap();
-        assert_eq!(db.get("a").unwrap().unwrap().value, vec![9]);
-    }
-
-    #[test]
-    fn bounded_lock_blocks_reads() {
-        let mut db = BoundedStateDb::new(8);
-        db.put("k", vec![1], Height::new(1, 0)).unwrap();
-        db.begin_write("k").unwrap();
-        assert_eq!(db.get("k"), Err(BoundedDbError::Locked));
-        assert_eq!(db.begin_write("k"), Err(BoundedDbError::Locked));
-        db.finish_write("k", vec![2], Height::new(2, 0));
-        assert_eq!(db.get("k").unwrap().unwrap().value, vec![2]);
-    }
-
-    #[test]
-    #[should_panic(expected = "finish_write without begin_write")]
-    fn bounded_finish_without_begin_panics() {
-        let mut db = BoundedStateDb::new(8);
-        db.finish_write("k", vec![1], Height::new(1, 0));
-    }
-
-    #[test]
-    fn bounded_locked_slots_count_toward_capacity() {
-        let mut db = BoundedStateDb::new(1);
-        db.begin_write("a").unwrap();
-        assert_eq!(
-            db.begin_write("b"),
-            Err(BoundedDbError::Full { capacity: 1 })
-        );
-        db.finish_write("a", vec![1], Height::new(1, 0));
-    }
-
-    #[test]
-    fn default_capacity_matches_paper() {
-        let db = BoundedStateDb::default();
-        assert_eq!(db.capacity(), 8192);
-    }
-
-    type RecordedBatch = (Vec<(String, Option<Vec<u8>>)>, Height);
-
-    #[derive(Debug, Default)]
-    struct RecordingSink {
-        records: parking_lot::Mutex<Vec<RecordedBatch>>,
-        flushes: std::sync::atomic::AtomicUsize,
-    }
-
-    impl JournalSink for RecordingSink {
-        fn record(&self, batch: &WriteBatch, height: Height) {
-            self.records.lock().push((
-                batch
-                    .iter()
-                    .map(|(k, v)| (k.to_string(), v.map(|b| b.to_vec())))
-                    .collect(),
-                height,
-            ));
-        }
-
-        fn flush(&self) {
-            self.flushes
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    fn put_get_roundtrip_on_both_backends() {
+        for db in both() {
+            let mut b = WriteBatch::new();
+            b.put("a", b"1".to_vec());
+            db.apply(&b, Height::new(1, 0));
+            assert_eq!(db.get("a").unwrap().value, b"1", "{}", db.backend());
+            assert_eq!(db.get_version("a"), Some(Height::new(1, 0)));
+            assert_eq!(db.get("missing"), None);
         }
     }
 
     #[test]
-    fn journal_sink_sees_every_apply_including_empty_batches() {
-        let db = StateDb::new();
-        let sink = Arc::new(RecordingSink::default());
-        db.attach_journal(sink.clone());
-        let mut b = WriteBatch::new();
-        b.put("a", vec![1]);
-        db.apply(&b, Height::new(1, 0));
-        // Empty batches must be journaled too: recovery counts one
-        // record per valid transaction.
-        db.apply(&WriteBatch::new(), Height::new(1, 1));
-        let records = sink.records.lock();
-        assert_eq!(records.len(), 2);
-        assert_eq!(records[0].1, Height::new(1, 0));
-        assert_eq!(records[1].0.len(), 0);
-        drop(records);
-        db.flush_journal();
-        assert_eq!(sink.flushes.load(std::sync::atomic::Ordering::Relaxed), 1);
-    }
-
-    #[test]
-    fn replay_does_not_rejournal() {
-        let db = StateDb::new();
-        let sink = Arc::new(RecordingSink::default());
-        db.attach_journal(sink.clone());
-        let mut b = WriteBatch::new();
-        b.put("a", vec![1]);
-        db.replay(&b, Height::new(3, 0));
-        assert!(sink.records.lock().is_empty(), "replay must not journal");
-        assert_eq!(db.get("a").unwrap().version, Height::new(3, 0));
-        assert_eq!(db.tip_height(), Some(Height::new(3, 0)));
-    }
-
-    #[test]
-    fn snapshot_restore_roundtrips_values_and_tip() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        b.put("a", vec![1]);
-        b.put("b", vec![2]);
-        db.apply(&b, Height::new(4, 1));
-        let restored = StateDb::from_snapshot(db.snapshot(), db.tip_height());
-        assert_eq!(restored.snapshot(), db.snapshot());
-        assert_eq!(restored.tip_height(), Some(Height::new(4, 1)));
-    }
-
-    #[test]
-    fn snapshot_chunks_release_the_lock_so_applies_interleave() {
-        let db = StateDb::new();
-        let mut b = WriteBatch::new();
-        for i in 0..10 {
-            b.put(format!("k{i:02}"), vec![i]);
+    fn delete_removes_key_on_both_backends() {
+        for db in both() {
+            let mut b = WriteBatch::new();
+            b.put("a", b"1".to_vec());
+            db.apply(&b, Height::new(1, 0));
+            let mut d = WriteBatch::new();
+            d.delete("a");
+            db.apply(&d, Height::new(2, 0));
+            assert_eq!(db.get("a"), None, "{}", db.backend());
+            assert_eq!(db.len(), 0);
         }
-        db.apply(&b, Height::new(1, 0));
-
-        // Pull one chunk, then apply ON THE SAME THREAD before pulling
-        // the rest: with the old whole-map-under-one-read-lock snapshot
-        // this interleaving was impossible (the lock spanned the copy);
-        // with chunking the write-lock acquisition inside apply()
-        // succeeds between chunks.
-        let mut chunks = db.snapshot_chunks(3);
-        let first = chunks.next().unwrap();
-        assert_eq!(first.len(), 3);
-
-        let mut w = WriteBatch::new();
-        w.put("k00", vec![99]); // behind the cursor: not revisited
-        w.put("k99", vec![42]); // ahead of the cursor: picked up
-        db.apply(&w, Height::new(2, 0));
-
-        let rest: Vec<_> = chunks.flatten().collect();
-        let mut all = first;
-        all.extend(rest);
-        // Ascending, duplicate-free key order across chunk boundaries.
-        let keys: Vec<&str> = all.iter().map(|(k, _)| k.as_str()).collect();
-        let mut sorted = keys.clone();
-        sorted.sort_unstable();
-        sorted.dedup();
-        assert_eq!(keys, sorted);
-        // The fuzzy-snapshot contract: the ahead-of-cursor write is
-        // visible, the behind-the-cursor one keeps its chunk-time value.
-        assert_eq!(all.iter().find(|(k, _)| k == "k99").unwrap().1.value, [42]);
-        assert_eq!(all.iter().find(|(k, _)| k == "k00").unwrap().1.value, [0]);
     }
 
     #[test]
-    fn quiescent_chunked_snapshot_is_exact() {
-        let db = StateDb::new();
+    fn mvcc_validation_semantics_on_both_backends() {
+        for db in both() {
+            let mut b = WriteBatch::new();
+            b.put("a", b"1".to_vec());
+            db.apply(&b, Height::new(1, 0));
+            assert!(db.mvcc_validate(&[("a".into(), Some(Height::new(1, 0)))]));
+            assert!(!db.mvcc_validate(&[("a".into(), Some(Height::new(0, 0)))]));
+            assert!(db.mvcc_validate(&[("nope".into(), None)]));
+            assert!(!db.mvcc_validate(&[("a".into(), None)]));
+        }
+    }
+
+    #[test]
+    fn state_hash_is_backend_independent() {
+        let [legacy, sharded] = both();
+        for db in [&legacy, &sharded] {
+            let mut b = WriteBatch::new();
+            for i in 0..64 {
+                b.put(format!("key{i:03}"), vec![i as u8; 3]);
+            }
+            db.apply(&b, Height::new(1, 0));
+            let mut d = WriteBatch::new();
+            d.delete("key007");
+            d.put("key100", vec![9]);
+            db.apply(&d, Height::new(2, 1));
+        }
+        assert_eq!(legacy.snapshot(), sharded.snapshot());
+        assert_eq!(legacy.state_hash(), sharded.state_hash());
+        assert_ne!(legacy.state_hash(), StateDb::new().state_hash());
+    }
+
+    #[test]
+    fn apply_block_equals_sequential_applies() {
+        for backend in [StateBackend::Legacy, StateBackend::Sharded] {
+            let serial = StateDb::with_backend(backend);
+            let blockwise = StateDb::with_backend(backend);
+            let mut batches = Vec::new();
+            for tx in 0..8u64 {
+                let mut b = WriteBatch::new();
+                b.put(format!("k{}", tx % 3), vec![tx as u8]);
+                if tx % 2 == 0 {
+                    b.delete("k0");
+                }
+                batches.push((b, Height::new(5, tx)));
+            }
+            // One empty batch (a valid tx with an empty write set).
+            batches.push((WriteBatch::new(), Height::new(5, 8)));
+            for (b, h) in &batches {
+                serial.apply(b, *h);
+            }
+            blockwise.apply_block(&batches);
+            assert_eq!(serial.snapshot(), blockwise.snapshot(), "{backend}");
+            assert_eq!(serial.tip_height(), blockwise.tip_height());
+        }
+    }
+
+    #[test]
+    fn pinned_snapshot_is_stable_across_later_commits() {
+        for db in both() {
+            let mut b = WriteBatch::new();
+            b.put("a", vec![1]);
+            b.put("b", vec![2]);
+            db.apply(&b, Height::new(1, 0));
+            let pin = db.pin();
+            assert_eq!(pin.height(), Some(Height::new(1, 0)));
+            let mut later = WriteBatch::new();
+            later.put("a", vec![9]);
+            later.delete("b");
+            later.put("c", vec![3]);
+            db.apply(&later, Height::new(2, 0));
+            // The live view moved...
+            assert_eq!(db.get("a").unwrap().value, vec![9]);
+            assert_eq!(db.get("b"), None);
+            // ...the pinned view did not.
+            assert_eq!(pin.get("a").unwrap().value, vec![1], "{}", db.backend());
+            assert_eq!(pin.get("b").unwrap().value, vec![2]);
+            assert_eq!(pin.get("c"), None);
+            let keys: Vec<String> = pin.range("", "zzz").into_iter().map(|(k, _)| k).collect();
+            assert_eq!(keys, vec!["a", "b"]);
+        }
+    }
+
+    #[test]
+    fn pin_of_empty_store_sees_nothing_ever() {
+        for db in both() {
+            let pin = db.pin();
+            assert_eq!(pin.height(), None);
+            let mut b = WriteBatch::new();
+            b.put("a", vec![1]);
+            db.apply(&b, Height::new(0, 0));
+            assert_eq!(pin.get("a"), None, "{}", db.backend());
+            assert!(pin.snapshot().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_snapshot_round_trips_across_backends() {
+        let src = StateDb::with_backend(StateBackend::Sharded);
         let mut b = WriteBatch::new();
-        for i in 0..257 {
-            b.put(format!("key{i:04}"), vec![(i % 251) as u8]);
+        for i in 0..300 {
+            b.put(format!("k{i:04}"), vec![(i % 251) as u8]);
         }
-        db.apply(&b, Height::new(1, 0));
-        // With no concurrent writers, chunked assembly must equal the
-        // ordered dump regardless of chunk size (including sizes that
-        // do not divide the key count).
-        for chunk in [1, 3, 64, 256, 1000] {
-            let assembled: Vec<_> = db.snapshot_chunks(chunk).flatten().collect();
-            assert_eq!(assembled, db.snapshot(), "chunk={chunk}");
+        src.apply(&b, Height::new(4, 1));
+        let entries = src.snapshot();
+        let tip = src.tip_height();
+        for backend in [StateBackend::Legacy, StateBackend::Sharded] {
+            let restored = StateDb::from_snapshot_with_backend(backend, entries.clone(), tip);
+            assert_eq!(restored.snapshot(), entries, "{backend}");
+            assert_eq!(restored.tip_height(), tip);
+            assert_eq!(restored.state_hash(), src.state_hash());
+            assert_eq!(restored.len(), 300);
         }
-        assert_eq!(db.snapshot().len(), 257);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(StateBackend::Sharded.name(), "sharded");
+        assert_eq!(StateBackend::Legacy.name(), "legacy");
+        assert_eq!(StateBackend::Sharded.to_string(), "sharded");
     }
 
     #[test]

@@ -61,7 +61,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use fabric_ledger::{Ledger, LedgerError};
-use fabric_statedb::{Height, StateDb};
+use fabric_statedb::{Height, StateBackend, StateDb};
 
 pub mod blockstore;
 pub mod checkpoint;
@@ -84,6 +84,13 @@ pub struct StoreConfig {
     /// Active-segment size threshold: crossing it seals the segment
     /// (flush + index sidecar) and opens the next one.
     pub segment_max_bytes: u64,
+    /// State-database backend the store builds at open (checkpoint
+    /// restore and journal replay both target it). Defaults to the
+    /// process default ([`fabric_statedb::default_state_backend`]), so
+    /// `FABRIC_STATE_BACKEND` reaches durable peers too; the recovery
+    /// cross-check pins it explicitly to prove replay lands the same
+    /// state on either backend.
+    pub state_backend: StateBackend,
 }
 
 impl Default for StoreConfig {
@@ -91,6 +98,7 @@ impl Default for StoreConfig {
         StoreConfig {
             group_commit: 8,
             segment_max_bytes: 4 * 1024 * 1024,
+            state_backend: fabric_statedb::default_state_backend(),
         }
     }
 }
@@ -275,8 +283,12 @@ impl FabricStore {
 
         // 5. State restore + bounded replay, then the verified ledger.
         let state_db = match &ckpt {
-            Some(ckpt) => StateDb::from_snapshot(ckpt.entries.clone(), ckpt.tip),
-            None => StateDb::new(),
+            Some(ckpt) => StateDb::from_snapshot_with_backend(
+                config.state_backend,
+                ckpt.entries.clone(),
+                ckpt.tip,
+            ),
+            None => StateDb::with_backend(config.state_backend),
         };
         let journal_records_found = jscan.records.len();
         let journal_records_replayed = journal::replay(&state_db, &jscan.records, c, k);

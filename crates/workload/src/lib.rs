@@ -13,10 +13,12 @@ pub mod arrivals;
 pub mod driver;
 pub mod drm;
 pub mod smallbank;
+pub mod state_load;
 pub mod stream_gen;
 
 pub use arrivals::{open_loop_schedule, Arrival, OpenLoopConfig, ZipfSampler};
 pub use driver::{measure_profile, Driver, Workload};
 pub use drm::Drm;
 pub use smallbank::Smallbank;
+pub use state_load::{StatePreload, ZipfCommitLoad};
 pub use stream_gen::{GeneratedStream, StreamScenario};

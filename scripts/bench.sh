@@ -9,7 +9,7 @@ cargo run --release --bin bench_validation
 # The JSON must carry every tracked section; a refactor that silently
 # drops one would otherwise go unnoticed until the next perf review.
 for section in single_thread field_backend_ab scalar_backend_ab pipeline \
-               signature_cache block_stream durability cluster admission; do
+               signature_cache block_stream durability statedb cluster admission; do
   grep -q "\"$section\"" BENCH_validation.json \
     || { echo "error: BENCH_validation.json lost the $section section" >&2; exit 1; }
 done
@@ -20,6 +20,14 @@ for key in admission_p50_us admission_p99_us dedup_hit_rate shed_rate \
            verify_pool_occupancy; do
   grep -q "\"$key\"" BENCH_validation.json \
     || { echo "error: admission section lost the $key metric" >&2; exit 1; }
+done
+
+# The statedb section must carry the sharded-vs-legacy A/B and its
+# in-bench equivalence gate (identical state hashes on both backends).
+for key in preload_keys preload_keys_per_s zipf_txs_per_s read_p50_us \
+           read_p99_us backends_state_hash_equal; do
+  grep -q "\"$key\"" BENCH_validation.json \
+    || { echo "error: statedb section lost the $key metric" >&2; exit 1; }
 done
 
 echo
