@@ -95,6 +95,8 @@ fn main() {
 
     json.object("admission", bench_admission());
 
+    json.object("lock_contention", bench_lock_contention());
+
     let path = out_path();
     std::fs::write(&path, json.finish()).expect("write BENCH_validation.json");
     println!("\nwrote {}", path.display());
@@ -1493,6 +1495,112 @@ fn json_number(text: &str, key: &str) -> Option<f64> {
         .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// Lock hold-time/contention accounting from the fabric-check layer:
+/// the checker is switched on around a contended statedb workload (the
+/// rest of the benchmark runs with it off), and the per-label counters
+/// the instrumented shim collected are reported per named lock.
+fn bench_lock_contention() -> JsonObject {
+    use fabric_statedb::{Height, ShardedStateDb, WriteBatch};
+    use std::sync::Arc;
+
+    heading("lock contention: fabric-check hold/contention accounting");
+
+    fabric_check::enable();
+    fabric_check::reset_stats();
+
+    const WRITERS: u64 = 4;
+    const READERS: usize = 2;
+    const BLOCKS: u64 = 64;
+    const TXS_PER_BLOCK: u64 = 8;
+    const KEYS_PER_TX: u64 = 8;
+
+    let db = Arc::new(ShardedStateDb::with_shards(16));
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for b in 0..BLOCKS {
+                    let mut batches = Vec::new();
+                    for tx in 0..TXS_PER_BLOCK {
+                        let mut batch = WriteBatch::new();
+                        for k in 0..KEYS_PER_TX {
+                            // Overlapping key space across writers so
+                            // shard locks genuinely collide.
+                            batch.put(
+                                format!("k{:04}", (b * TXS_PER_BLOCK + tx + k * 17) % 512),
+                                vec![w as u8, b as u8],
+                            );
+                        }
+                        batches.push((batch, Height::new(w * 10_000 + b + 1, tx)));
+                    }
+                    db.apply_block(&batches);
+                }
+            });
+        }
+        for r in 0..READERS {
+            let db = Arc::clone(&db);
+            s.spawn(move || {
+                for i in 0..2_000u64 {
+                    let _ = db.get(&format!("k{:04}", (i * 31 + r as u64) % 512));
+                    if i % 64 == 0 {
+                        let pin = db.pin();
+                        let _ = pin.height();
+                    }
+                }
+            });
+        }
+    });
+    let wall_us = t0.elapsed().as_micros() as f64;
+    let stats = fabric_check::stats_snapshot();
+    fabric_check::disable();
+
+    let mut total_acq = 0u64;
+    let mut total_contended = 0u64;
+    let mut rows = Vec::new();
+    let mut lock_objs = Vec::new();
+    for s in &stats {
+        if s.acquisitions == 0 {
+            continue;
+        }
+        total_acq += s.acquisitions;
+        total_contended += s.contended;
+        let contention_rate = s.contended as f64 / s.acquisitions as f64;
+        let hold_mean_us = s.hold_ns as f64 / s.acquisitions as f64 / 1_000.0;
+        let mut o = JsonObject::new();
+        o.raw("label", &format!("\"{}\"", s.label));
+        o.number("acquisitions", s.acquisitions as f64);
+        o.number("contended", s.contended as f64);
+        o.number("contention_rate", contention_rate);
+        o.number("hold_mean_us", hold_mean_us);
+        o.number("hold_max_us", s.max_hold_ns as f64 / 1_000.0);
+        o.number("block_total_us", s.block_ns as f64 / 1_000.0);
+        lock_objs.push(o);
+        rows.push(vec![
+            s.label.clone(),
+            format!("{}", s.acquisitions),
+            format!("{:.1}%", contention_rate * 100.0),
+            format!("{hold_mean_us:.2} µs"),
+        ]);
+    }
+    table(&["lock", "acquisitions", "contended", "hold mean"], &rows);
+
+    let mut out = JsonObject::new();
+    out.number("wall_us", wall_us);
+    out.number("total_acquisitions", total_acq as f64);
+    out.number("total_contended", total_contended as f64);
+    out.number(
+        "contention_rate",
+        if total_acq == 0 {
+            0.0
+        } else {
+            total_contended as f64 / total_acq as f64
+        },
+    );
+    out.array("locks", lock_objs);
+    out
 }
 
 fn time_us<F: FnMut()>(iters: u32, mut f: F) -> f64 {

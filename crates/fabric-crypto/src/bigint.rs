@@ -232,7 +232,7 @@ impl U256 {
         let mut limbs = [0u64; 4];
         for (i, limb) in limbs.iter_mut().enumerate() {
             let off = 32 - 8 * (i + 1);
-            *limb = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+            *limb = u64::from_be_bytes(buf[off..off + 8].try_into().expect("8-byte slice"));
         }
         U256(limbs)
     }

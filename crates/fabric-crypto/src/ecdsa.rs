@@ -274,14 +274,15 @@ impl fmt::Debug for SigningKey {
 /// it. Bounded: once full, new keys simply get private (unshared) slots.
 fn shared_precomp_slot(point: &AffinePoint) -> Arc<OnceLock<KeyPrecomp>> {
     type Registry =
-        std::sync::Mutex<std::collections::HashMap<[u8; 64], Arc<OnceLock<KeyPrecomp>>>>;
+        parking_lot::Mutex<std::collections::HashMap<[u8; 64], Arc<OnceLock<KeyPrecomp>>>>;
     const REGISTRY_CAP: usize = 1024;
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    let registry = REGISTRY.get_or_init(Default::default);
+    let registry = REGISTRY
+        .get_or_init(|| parking_lot::Mutex::named("crypto.precomp_registry", Default::default()));
     let mut key = [0u8; 64];
     key[..32].copy_from_slice(&point.x_bytes());
     key[32..].copy_from_slice(&point.y_bytes());
-    let mut map = registry.lock().expect("precomp registry poisoned");
+    let mut map = registry.lock();
     if let Some(slot) = map.get(&key) {
         return Arc::clone(slot);
     }

@@ -477,16 +477,24 @@ impl<'a> Reader<'a> {
 
     fn read_u16(&mut self) -> Result<u16, IdentityError> {
         let b = self.read_exact(2)?;
-        Ok(u16::from_be_bytes(b.try_into().unwrap()))
+        Ok(u16::from_be_bytes(
+            b.try_into().expect("read_exact(2) returned 2 bytes"),
+        ))
     }
 
     fn read_u64(&mut self) -> Result<u64, IdentityError> {
         let b = self.read_exact(8)?;
-        Ok(u64::from_be_bytes(b.try_into().unwrap()))
+        Ok(u64::from_be_bytes(
+            b.try_into().expect("read_exact(8) returned 8 bytes"),
+        ))
     }
 
     fn read_bytes(&mut self) -> Result<&'a [u8], IdentityError> {
-        let len = u32::from_be_bytes(self.read_exact(4)?.try_into().unwrap()) as usize;
+        let len = u32::from_be_bytes(
+            self.read_exact(4)?
+                .try_into()
+                .expect("read_exact(4) returned 4 bytes"),
+        ) as usize;
         self.read_exact(len)
     }
 

@@ -66,7 +66,7 @@ impl Sha256 {
             }
         }
         while data.len() >= 64 {
-            let block: [u8; 64] = data[..64].try_into().unwrap();
+            let block: [u8; 64] = data[..64].try_into().expect("64-byte slice");
             self.compress(&block);
             data = &data[64..];
         }
@@ -100,7 +100,7 @@ impl Sha256 {
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for (i, item) in w.iter_mut().enumerate().take(16) {
-            *item = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+            *item = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().expect("4-byte slice"));
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);

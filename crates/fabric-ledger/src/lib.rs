@@ -287,12 +287,15 @@ pub struct Ledger {
 impl Default for Ledger {
     fn default() -> Self {
         Ledger {
-            inner: Arc::new(Mutex::new(LedgerInner {
-                store: Box::new(MemoryBlockStore::new()),
-                tip: None,
-                tx_index: HashMap::new(),
-                history: HistoryDb::new(),
-            })),
+            inner: Arc::new(Mutex::named(
+                "ledger.inner",
+                LedgerInner {
+                    store: Box::new(MemoryBlockStore::new()),
+                    tip: None,
+                    tx_index: HashMap::new(),
+                    history: HistoryDb::new(),
+                },
+            )),
         }
     }
 }
@@ -357,12 +360,15 @@ impl Ledger {
             });
         }
         Ok(Ledger {
-            inner: Arc::new(Mutex::new(LedgerInner {
-                store,
-                tip,
-                tx_index,
-                history,
-            })),
+            inner: Arc::new(Mutex::named(
+                "ledger.inner",
+                LedgerInner {
+                    store,
+                    tip,
+                    tx_index,
+                    history,
+                },
+            )),
         })
     }
 

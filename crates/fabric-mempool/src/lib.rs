@@ -302,16 +302,16 @@ impl Mempool {
         assert!(cfg.verify_workers > 0, "verify pool needs a worker");
         Mempool {
             shards: (0..cfg.shards)
-                .map(|_| Mutex::new(Shard::default()))
+                .map(|_| Mutex::named("mempool.shard", Shard::default()))
                 .collect(),
-            pending: Mutex::new(VecDeque::new()),
-            ready: Mutex::new(BTreeMap::new()),
+            pending: Mutex::named("mempool.pending", VecDeque::new()),
+            ready: Mutex::named("mempool.ready", BTreeMap::new()),
             pending_count: AtomicUsize::new(0),
             ready_count: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             cache,
             msp,
-            cert_memo: Mutex::new(HashMap::new()),
+            cert_memo: Mutex::named("mempool.cert_memo", HashMap::new()),
             admitted: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
             shed: AtomicU64::new(0),
@@ -337,24 +337,32 @@ impl Mempool {
         let tx = match decode_admission(envelope) {
             Ok(tx) => tx,
             Err(_) => {
+                // relaxed: monotonic stats counter; never gates data visibility
                 self.malformed.fetch_add(1, Ordering::Relaxed);
                 return AdmitOutcome::Malformed;
             }
         };
         let shard_idx = self.shard_of(&tx.tx_id);
         let mut shard = self.shards[shard_idx].lock();
+        // relaxed: TTL eviction is approximate by design; a stale seq only delays expiry, and entry-state checks keep in-flight txs safe
         let now_seq = self.seq.load(Ordering::Relaxed);
         shard.evict_expired(now_seq, self.cfg.replay_ttl);
         if shard.entries.contains_key(&tx.tx_id) {
+            // relaxed: monotonic stats counter; never gates data visibility
             self.duplicates.fetch_add(1, Ordering::Relaxed);
             return AdmitOutcome::Duplicate;
         }
-        let in_flight =
-            self.pending_count.load(Ordering::Relaxed) + self.ready_count.load(Ordering::Relaxed);
+        // relaxed: backpressure gauge is approximate by design;
+        // admission never reads queue data through these counters
+        let pending = self.pending_count.load(Ordering::Relaxed);
+        let ready = self.ready_count.load(Ordering::Relaxed);
+        let in_flight = pending + ready;
         if in_flight >= self.cfg.max_pending {
+            // relaxed: monotonic stats counter; never gates data visibility
             self.shed.fetch_add(1, Ordering::Relaxed);
             return AdmitOutcome::Shed;
         }
+        // relaxed: RMW uniqueness is all that matters for id allocation; the seq value is published under the shard/pending locks
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         shard.entries.insert(tx.tx_id.clone(), EntryState::Pending);
         shard.window.push_back((seq, tx.tx_id.clone()));
@@ -364,9 +372,11 @@ impl Mempool {
             envelope: envelope.to_vec(),
             tx,
         };
+        // relaxed: approximate backpressure gauge (see admit)
         self.pending_count.fetch_add(1, Ordering::Relaxed);
         self.pending.lock().push_back(queued);
         drop(shard);
+        // relaxed: monotonic stats counter; never gates data visibility
         self.admitted.fetch_add(1, Ordering::Relaxed);
         AdmitOutcome::Admitted
     }
@@ -409,6 +419,7 @@ impl Mempool {
                 scope.spawn(|| {
                     let t0 = Instant::now();
                     loop {
+                        // relaxed: work claim needs only RMW uniqueness; verdicts are published through OnceLock and the scope join
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
@@ -416,6 +427,7 @@ impl Mempool {
                         let outcome = self.verify_one(&batch[i]);
                         verdicts[i].set(outcome).expect("task claimed twice");
                     }
+                    // relaxed: accumulator read only after the scope join below
                     busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
                 });
             }
@@ -427,6 +439,7 @@ impl Mempool {
         let mut report = VerifyReport {
             batch: n,
             workers,
+            // relaxed: scope join above synchronizes the accumulator
             busy_us: busy_us.load(Ordering::Relaxed),
             wall_us,
             ..VerifyReport::default()
@@ -444,12 +457,15 @@ impl Mempool {
                 self.ready
                     .lock()
                     .insert(queued.seq, (queued.tx_id, queued.envelope));
+                // relaxed: approximate backpressure gauge (see admit)
                 self.ready_count.fetch_add(1, Ordering::Relaxed);
             } else {
                 report.invalid += 1;
+                // relaxed: monotonic stats counter; never gates data visibility
                 self.invalid.fetch_add(1, Ordering::Relaxed);
                 shard.entries.remove(&queued.tx_id);
             }
+            // relaxed: approximate backpressure gauge (see admit)
             self.pending_count.fetch_sub(1, Ordering::Relaxed);
         }
         report
@@ -465,6 +481,7 @@ impl Mempool {
         let valid = match self.cache.claim(&queued.tx.cache_key) {
             Claim::Verdict(v) => v,
             Claim::Verify(guard) => {
+                // relaxed: monotonic stats counter; never gates data visibility
                 self.verifications.fetch_add(1, Ordering::Relaxed);
                 let ok = queued
                     .tx
@@ -489,6 +506,7 @@ impl Mempool {
             let digest = sha256(&e.signed_message);
             let key = SigCacheKey::compute(&e.endorser_cert.public_key, &digest, &e.signature);
             if let Claim::Verify(guard) = self.cache.claim(&key) {
+                // relaxed: monotonic stats counter; never gates data visibility
                 self.verifications.fetch_add(1, Ordering::Relaxed);
                 let ok = e
                     .endorser_cert
@@ -522,7 +540,9 @@ impl Mempool {
                 .lock()
                 .entries
                 .insert(tx_id, EntryState::Recorded);
+            // relaxed: approximate backpressure gauge (see admit)
             self.ready_count.fetch_sub(1, Ordering::Relaxed);
+            // relaxed: monotonic stats counter; never gates data visibility
             self.drained.fetch_add(1, Ordering::Relaxed);
             out.push(envelope);
         }
@@ -531,11 +551,13 @@ impl Mempool {
 
     /// Number of transactions awaiting verification.
     pub fn pending_len(&self) -> usize {
+        // relaxed: approximate gauge; callers treat it as a hint
         self.pending_count.load(Ordering::Relaxed)
     }
 
     /// Number of verified transactions awaiting drain.
     pub fn ready_len(&self) -> usize {
+        // relaxed: approximate gauge; callers treat it as a hint
         self.ready_count.load(Ordering::Relaxed)
     }
 
@@ -552,6 +574,7 @@ impl Mempool {
     /// Current counters.
     pub fn stats(&self) -> MempoolStats {
         MempoolStats {
+            // relaxed: stats snapshot; counters are independent and approximate
             admitted: self.admitted.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),

@@ -157,7 +157,7 @@ pub struct ValidatorPipeline {
     /// block repeats the same few certificates hundreds of times, and
     /// each MSP validation is itself a full ECDSA verification (the CA
     /// signature over the TBS bytes).
-    cert_cache: std::sync::Mutex<HashMap<[u8; 32], bool>>,
+    cert_cache: parking_lot::Mutex<HashMap<[u8; 32], bool>>,
 }
 
 /// Upper bound on memoized certificate verdicts before the memo resets
@@ -286,7 +286,7 @@ impl ValidatorPipeline {
             workers,
             verifications: AtomicUsize::new(0),
             sig_cache,
-            cert_cache: std::sync::Mutex::new(HashMap::new()),
+            cert_cache: parking_lot::Mutex::named("peer.cert_memo", HashMap::new()),
         }
     }
 
@@ -314,13 +314,13 @@ impl ValidatorPipeline {
     fn msp_validate_cached(&self, cert: &fabric_crypto::Certificate) -> bool {
         let fp = cert.fingerprint();
         {
-            let cache = self.cert_cache.lock().expect("cert cache poisoned");
+            let cache = self.cert_cache.lock();
             if let Some(&ok) = cache.get(&fp) {
                 return ok;
             }
         }
         let ok = self.msp.validate(cert).is_ok();
-        let mut cache = self.cert_cache.lock().expect("cert cache poisoned");
+        let mut cache = self.cert_cache.lock();
         if cache.len() >= CERT_CACHE_CAPACITY {
             cache.clear();
         }
@@ -345,6 +345,7 @@ impl ValidatorPipeline {
 
     /// Total ECDSA verifications performed so far.
     pub fn verifications(&self) -> usize {
+        // relaxed: monotonic stats counter; never gates data visibility
         self.verifications.load(Ordering::Relaxed)
     }
 
@@ -653,6 +654,8 @@ impl ValidatorPipeline {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
+                    // relaxed: work claim needs only RMW uniqueness; verdicts are
+                    // published through the scope join below
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -707,6 +710,7 @@ impl ValidatorPipeline {
     }
 
     fn bump_verifications(&self, n: usize) {
+        // relaxed: monotonic stats counter; never gates data visibility
         self.verifications.fetch_add(n, Ordering::Relaxed);
     }
 }

@@ -19,7 +19,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
 
 use fabric_crypto::{sha256, Signature, VerifyingKey};
 
@@ -110,13 +112,13 @@ enum FlightState {
 impl Flight {
     fn new() -> Self {
         Flight {
-            state: Mutex::new(FlightState::Pending),
+            state: Mutex::named("peer.sigcache.flight", FlightState::Pending),
             cv: Condvar::new(),
         }
     }
 
     fn resolve(&self, state: FlightState) {
-        *self.state.lock().expect("sigcache flight poisoned") = state;
+        *self.state.lock() = state;
         self.cv.notify_all();
     }
 }
@@ -157,9 +159,7 @@ impl ClaimGuard<'_> {
     pub fn fulfill(mut self, valid: bool) {
         self.done = true;
         {
-            let mut shard = self.cache.shards[self.key.shard()]
-                .lock()
-                .expect("sigcache shard poisoned");
+            let mut shard = self.cache.shards[self.key.shard()].lock();
             shard.insert(self.key, valid);
             shard.inflight.remove(&self.key);
         }
@@ -175,9 +175,7 @@ impl Drop for ClaimGuard<'_> {
         // Abandoned claim (panic or early return in the verifier):
         // unpark the waiters so one of them re-claims the key.
         {
-            let mut shard = self.cache.shards[self.key.shard()]
-                .lock()
-                .expect("sigcache shard poisoned");
+            let mut shard = self.cache.shards[self.key.shard()].lock();
             shard.inflight.remove(&self.key);
         }
         self.flight.resolve(FlightState::Abandoned);
@@ -191,7 +189,7 @@ impl SignatureCache {
         let per_shard = capacity.div_ceil(SHARDS).max(1);
         SignatureCache {
             shards: (0..SHARDS)
-                .map(|_| Mutex::new(LruShard::new(per_shard)))
+                .map(|_| Mutex::named("peer.sigcache.shard", LruShard::new(per_shard)))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -209,16 +207,16 @@ impl SignatureCache {
     pub fn claim(&self, key: &SigCacheKey) -> Claim<'_> {
         loop {
             let flight = {
-                let mut shard = self.shards[key.shard()]
-                    .lock()
-                    .expect("sigcache shard poisoned");
+                let mut shard = self.shards[key.shard()].lock();
                 if let Some(valid) = shard.get(key) {
+                    // relaxed: monotonic stats counter; never gates data visibility
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Claim::Verdict(valid);
                 }
                 match shard.inflight.get(key) {
                     Some(flight) => Arc::clone(flight),
                     None => {
+                        // relaxed: monotonic stats counter; never gates data visibility
                         self.misses.fetch_add(1, Ordering::Relaxed);
                         let flight = Arc::new(Flight::new());
                         shard.inflight.insert(*key, Arc::clone(&flight));
@@ -233,16 +231,17 @@ impl SignatureCache {
             };
             // Wait outside the shard lock: the claimant needs it to
             // publish, and unrelated keys must not stall behind us.
-            let mut state = flight.state.lock().expect("sigcache flight poisoned");
+            let mut state = flight.state.lock();
             loop {
                 match *state {
                     FlightState::Done(valid) => {
+                        // relaxed: monotonic stats counter; never gates data visibility
                         self.coalesced.fetch_add(1, Ordering::Relaxed);
                         return Claim::Verdict(valid);
                     }
                     FlightState::Abandoned => break,
                     FlightState::Pending => {
-                        state = flight.cv.wait(state).expect("sigcache flight poisoned");
+                        state = flight.cv.wait(state);
                     }
                 }
             }
@@ -252,15 +251,15 @@ impl SignatureCache {
 
     /// Looks up a verdict, refreshing the entry's recency on a hit.
     pub fn get(&self, key: &SigCacheKey) -> Option<bool> {
-        let mut shard = self.shards[key.shard()]
-            .lock()
-            .expect("sigcache shard poisoned");
+        let mut shard = self.shards[key.shard()].lock();
         match shard.get(key) {
             Some(valid) => {
+                // relaxed: monotonic stats counter; never gates data visibility
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(valid)
             }
             None => {
+                // relaxed: monotonic stats counter; never gates data visibility
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -272,9 +271,7 @@ impl SignatureCache {
     /// waiters pick up the externally supplied verdict.
     pub fn insert(&self, key: SigCacheKey, valid: bool) {
         let flight = {
-            let mut shard = self.shards[key.shard()]
-                .lock()
-                .expect("sigcache shard poisoned");
+            let mut shard = self.shards[key.shard()].lock();
             shard.insert(key, valid);
             shard.inflight.remove(&key)
         };
@@ -285,18 +282,11 @@ impl SignatureCache {
 
     /// Current statistics.
     pub fn stats(&self) -> SigCacheStats {
-        let entries = self
-            .shards
-            .iter()
-            .map(|s| s.lock().expect("sigcache shard poisoned").map.len())
-            .sum();
-        let capacity = self.shards.len()
-            * self
-                .shards
-                .first()
-                .map(|s| s.lock().expect("sigcache shard poisoned").capacity)
-                .unwrap_or(0);
+        let entries = self.shards.iter().map(|s| s.lock().map.len()).sum();
+        let capacity =
+            self.shards.len() * self.shards.first().map(|s| s.lock().capacity).unwrap_or(0);
         SigCacheStats {
+            // relaxed: stats snapshot; counters are independent and approximate
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),

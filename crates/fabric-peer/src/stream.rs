@@ -36,7 +36,9 @@
 //! from an untrusted or unbounded source should throttle on their side.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
 use std::time::Instant;
 
 use fabric_protos::messages::Block;
@@ -246,12 +248,15 @@ impl StreamValidator {
         let base = pipeline.ledger().next_block_number();
         let shared = Arc::new(Shared {
             pipeline,
-            state: Mutex::new(StreamState {
-                next_dispatch: base,
-                next_commit: base,
-                error_at: u64::MAX,
-                ..StreamState::default()
-            }),
+            state: Mutex::named(
+                "peer.stream.state",
+                StreamState {
+                    next_dispatch: base,
+                    next_commit: base,
+                    error_at: u64::MAX,
+                    ..StreamState::default()
+                },
+            ),
             cv: Condvar::new(),
             window: config.max_in_flight,
         });
@@ -291,7 +296,7 @@ impl StreamValidator {
     /// [`StreamValidator::finish`], not here.
     pub fn push(&self, block: Block) -> Result<(), StreamError> {
         let number = block.header.number;
-        let mut st = self.shared.state.lock().expect("stream state poisoned");
+        let mut st = self.shared.state.lock();
         st.started.get_or_insert_with(Instant::now);
         if number < st.next_dispatch || st.pending.contains_key(&number) {
             return Err(StreamError::DuplicateBlock(number));
@@ -317,7 +322,7 @@ impl StreamValidator {
     /// or a sequence gap at close.
     pub fn finish(mut self) -> Result<StreamReport, StreamError> {
         {
-            let mut st = self.shared.state.lock().expect("stream state poisoned");
+            let mut st = self.shared.state.lock();
             st.closed = true;
             self.shared.cv.notify_all();
         }
@@ -334,7 +339,7 @@ impl StreamValidator {
         // journal and block store before the session reports back — the
         // stream's group-commit boundary.
         let flushed = self.shared.pipeline.flush_storage();
-        let mut st = self.shared.state.lock().expect("stream state poisoned");
+        let mut st = self.shared.state.lock();
         if let Some(e) = st.error.take() {
             return Err(e);
         }
@@ -389,7 +394,7 @@ impl StreamValidator {
     /// count.
     pub fn abort(mut self) -> usize {
         self.shutdown();
-        let st = self.shared.state.lock().expect("stream state poisoned");
+        let st = self.shared.state.lock();
         st.results.len()
     }
 
@@ -397,7 +402,7 @@ impl StreamValidator {
     /// abort flag and join them. Idempotent.
     fn shutdown(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("stream state poisoned");
+            let mut st = self.shared.state.lock();
             st.closed = true;
             st.aborted = true;
             st.pending.clear();
@@ -448,7 +453,7 @@ impl Drop for StreamValidator {
 fn verify_lane(shared: &Shared) {
     loop {
         let (number, block) = {
-            let mut st = shared.state.lock().expect("stream state poisoned");
+            let mut st = shared.state.lock();
             loop {
                 if st.aborted || st.error.is_some() {
                     // On a validation error every block below it is
@@ -485,7 +490,7 @@ fn verify_lane(shared: &Shared) {
                         }
                     }
                 }
-                st = shared.cv.wait(st).expect("stream state poisoned");
+                st = shared.cv.wait(st);
             }
         };
 
@@ -493,7 +498,7 @@ fn verify_lane(shared: &Shared) {
         let outcome = shared.pipeline.verify_stage(&block);
         let busy = t0.elapsed().as_micros() as u64;
 
-        let mut st = shared.state.lock().expect("stream state poisoned");
+        let mut st = shared.state.lock();
         st.verify_busy_us += busy;
         match outcome {
             Ok(verified) => {
@@ -529,7 +534,7 @@ fn set_error(st: &mut StreamState, number: u64, error: StreamError) {
 fn commit_sequencer(shared: &Shared) {
     loop {
         let (number, block, verified) = {
-            let mut st = shared.state.lock().expect("stream state poisoned");
+            let mut st = shared.state.lock();
             loop {
                 if st.aborted || st.next_commit >= st.error_at {
                     return;
@@ -548,7 +553,7 @@ fn commit_sequencer(shared: &Shared) {
                 {
                     return;
                 }
-                st = shared.cv.wait(st).expect("stream state poisoned");
+                st = shared.cv.wait(st);
             }
         };
 
@@ -556,7 +561,7 @@ fn commit_sequencer(shared: &Shared) {
         let outcome = shared.pipeline.commit_stage(&block, verified);
         let busy = t0.elapsed().as_micros() as u64;
 
-        let mut st = shared.state.lock().expect("stream state poisoned");
+        let mut st = shared.state.lock();
         st.commit_busy_us += busy;
         match outcome {
             Ok(result) => {

@@ -211,11 +211,17 @@ impl<'a> ProtoReader<'a> {
             WireType::Varint => (self.read_varint()?, &[]),
             WireType::Fixed64 => {
                 let b = self.take(8)?;
-                (u64::from_le_bytes(b.try_into().unwrap()), &[])
+                (
+                    u64::from_le_bytes(b.try_into().expect("take(8) returned 8 bytes")),
+                    &[],
+                )
             }
             WireType::Fixed32 => {
                 let b = self.take(4)?;
-                (u32::from_le_bytes(b.try_into().unwrap()) as u64, &[])
+                (
+                    u32::from_le_bytes(b.try_into().expect("take(4) returned 4 bytes")) as u64,
+                    &[],
+                )
             }
             WireType::LengthDelimited => {
                 let len = self.read_varint()? as usize;

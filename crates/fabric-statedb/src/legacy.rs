@@ -26,9 +26,17 @@ pub const SNAPSHOT_CHUNK: usize = 1024;
 /// kept.
 ///
 /// Cloning is cheap: clones share the same underlying map.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct LegacyStateDb {
     inner: Arc<RwLock<Inner>>,
+}
+
+impl Default for LegacyStateDb {
+    fn default() -> Self {
+        LegacyStateDb {
+            inner: Arc::new(RwLock::named("statedb.legacy", Inner::default())),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -57,12 +65,15 @@ impl LegacyStateDb {
     /// continues from this tip.
     pub fn from_snapshot(entries: Vec<(String, VersionedValue)>, tip: Option<Height>) -> Self {
         LegacyStateDb {
-            inner: Arc::new(RwLock::new(Inner {
-                map: entries.into_iter().collect(),
-                stats: StateDbStats::default(),
-                tip,
-                journal: None,
-            })),
+            inner: Arc::new(RwLock::named(
+                "statedb.legacy",
+                Inner {
+                    map: entries.into_iter().collect(),
+                    stats: StateDbStats::default(),
+                    tip,
+                    journal: None,
+                },
+            )),
         }
     }
 
@@ -112,6 +123,16 @@ impl LegacyStateDb {
     pub fn apply(&self, batch: &WriteBatch, height: Height) {
         let mut g = self.inner.write();
         if let Some(journal) = &g.journal {
+            // check-sync: same journal-order invariant as the sharded
+            // backend — record must happen under the lock that orders
+            // the in-memory apply.
+            #[cfg(feature = "check-sync")]
+            if fabric_check::enabled() {
+                assert!(
+                    fabric_check::holding("statedb.legacy"),
+                    "legacy journal-order invariant violated: record outside `statedb.legacy`"
+                );
+            }
             journal.record(batch, height);
         }
         Self::apply_locked(&mut g, batch, height);

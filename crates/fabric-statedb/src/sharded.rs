@@ -63,6 +63,27 @@ pub const DEFAULT_SHARDS: usize = 16;
 /// dominates the map work.
 const PARALLEL_APPLY_THRESHOLD: usize = 256;
 
+/// `check-sync` runtime assertion for the journal-order invariant:
+/// journal records and the epoch/tip publish must happen under the
+/// `statedb.order` commit lock, which is what makes record order equal
+/// apply order (the property recovery replay depends on). Compiles to
+/// nothing without the feature; costs one atomic load when the feature
+/// is built but checking is off.
+#[cfg(feature = "check-sync")]
+#[inline]
+fn assert_order_held(stage: &str) {
+    if fabric_check::enabled() {
+        assert!(
+            fabric_check::holding("statedb.order"),
+            "statedb journal-order invariant violated: {stage} without holding `statedb.order`"
+        );
+    }
+}
+
+#[cfg(not(feature = "check-sync"))]
+#[inline]
+fn assert_order_held(_stage: &str) {}
+
 /// One version of one key. Chains are kept in apply order (last =
 /// newest); `value: None` is a tombstone.
 #[derive(Debug, Clone)]
@@ -147,10 +168,12 @@ impl ShardedStateDb {
         assert!(shards > 0, "shard count must be non-zero");
         ShardedStateDb {
             inner: Arc::new(SharedInner {
-                shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
-                order: Mutex::new(OrderState::default()),
-                committed: RwLock::new((0, None)),
-                pins: Mutex::new(BTreeMap::new()),
+                shards: (0..shards)
+                    .map(|_| RwLock::named("statedb.shard", Shard::default()))
+                    .collect(),
+                order: Mutex::named("statedb.order", OrderState::default()),
+                committed: RwLock::named("statedb.committed", (0, None)),
+                pins: Mutex::named("statedb.pins", BTreeMap::new()),
                 reads: AtomicU64::new(0),
                 writes: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
@@ -216,6 +239,7 @@ impl ShardedStateDb {
     /// Point read of the current value and version: one shard read
     /// lock, newest chain entry.
     pub fn get(&self, key: &str) -> Option<VersionedValue> {
+        // relaxed: monotonic stats counter; never gates data visibility
         self.inner.reads.fetch_add(1, Ordering::Relaxed);
         let shard = self.inner.shards[self.shard_of(key)].read();
         let hit = shard.map.get(key).and_then(|chain| {
@@ -226,6 +250,7 @@ impl ShardedStateDb {
             })
         });
         if hit.is_none() {
+            // relaxed: monotonic stats counter; never gates data visibility
             self.inner.misses.fetch_add(1, Ordering::Relaxed);
         }
         hit
@@ -270,6 +295,7 @@ impl ShardedStateDb {
         if journal {
             if let Some(sink) = &order.journal {
                 for (batch, height) in batches {
+                    assert_order_held("journal record emitted");
                     sink.record(batch, *height);
                 }
             }
@@ -305,6 +331,7 @@ impl ShardedStateDb {
                 total += 1;
             }
         }
+        // relaxed: monotonic stats counter; never gates data visibility
         inner.writes.fetch_add(total as u64, Ordering::Relaxed);
 
         let busy = groups.iter().filter(|g| !g.is_empty()).count();
@@ -341,6 +368,7 @@ impl ShardedStateDb {
 
         // Publish: the new epoch/tip become pinnable only now, after
         // every shard group is fully applied.
+        assert_order_held("epoch/tip published");
         order.epoch = epoch_pre + batches.len() as u64;
         order.tip = tip;
         *inner.committed.write() = (order.epoch, tip);
@@ -405,6 +433,8 @@ impl ShardedStateDb {
     /// Snapshot of the statistics counters.
     pub fn stats(&self) -> StateDbStats {
         StateDbStats {
+            // relaxed: approximate stats snapshot; counters are
+            // independent and never gate data visibility
             reads: self.inner.reads.load(Ordering::Relaxed),
             writes: self.inner.writes.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),

@@ -123,6 +123,7 @@ fn parse_valid_count(payload: &[u8]) -> Option<u32> {
             .filter(|&&b| {
                 fabric_ledger::TxValidationCode::from_code(b).is_some_and(|c| c.is_valid())
             })
+            // lint:allow(truncating-cast) tx count per block is far below u32::MAX
             .count() as u32,
     )
 }
@@ -218,12 +219,15 @@ impl DurableBlockStore {
             segment_max_bytes,
             segments,
             total_blocks: next_block,
-            writer: Mutex::new(Writer {
-                file,
-                file_len,
-                buffered: Vec::new(),
-                pending: 0,
-            }),
+            writer: Mutex::named(
+                "store.blockstore.writer",
+                Writer {
+                    file,
+                    file_len,
+                    buffered: Vec::new(),
+                    pending: 0,
+                },
+            ),
         };
         Ok((store, valid_counts))
     }
@@ -332,7 +336,7 @@ impl DurableBlockStore {
         file.read_exact(&mut record).ok()?;
         let scan = frame::scan(&record);
         match (&scan.tail, scan.records.len()) {
-            (Tail::Clean, 1) => Some(scan.records.into_iter().next().unwrap().1),
+            (Tail::Clean, 1) => Some(scan.records.into_iter().next().expect("one record").1),
             _ => None,
         }
     }
@@ -369,6 +373,7 @@ fn scan_segment(path: &Path, first_block: u64) -> Result<Vec<Entry>, StoreOpenEr
         })?;
         entries.push(Entry {
             offset: *offset as u64,
+            // lint:allow(truncating-cast) record payloads are bounded by MAX_RECORD_LEN
             len: payload.len() as u32,
             valid_count,
         });
@@ -381,7 +386,8 @@ fn scan_segment(path: &Path, first_block: u64) -> Result<Vec<Entry>, StoreOpenEr
 fn write_sidecar(path: &Path, seg: &Segment) -> Result<(), StoreError> {
     let mut payload = Vec::with_capacity(12 + seg.entries.len() * 16);
     payload.extend_from_slice(&seg.first_block.to_le_bytes());
-    payload.extend_from_slice(&(seg.entries.len() as u32).to_le_bytes());
+    let count = u32::try_from(seg.entries.len()).expect("segment exceeds u32::MAX entries");
+    payload.extend_from_slice(&count.to_le_bytes());
     for e in &seg.entries {
         payload.extend_from_slice(&e.offset.to_le_bytes());
         payload.extend_from_slice(&e.len.to_le_bytes());
@@ -404,8 +410,8 @@ fn load_sidecar(idx_path: &Path, log_path: &Path, first_block: u64) -> Option<Ve
     if payload.len() < 12 {
         return None;
     }
-    let stored_first = u64::from_le_bytes(payload[0..8].try_into().unwrap());
-    let count = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+    let stored_first = u64::from_le_bytes(payload[0..8].try_into().expect("8-byte slice"));
+    let count = u32::from_le_bytes(payload[8..12].try_into().expect("4-byte slice")) as usize;
     if stored_first != first_block || payload.len() != 12 + count * 16 {
         return None;
     }
@@ -413,9 +419,10 @@ fn load_sidecar(idx_path: &Path, log_path: &Path, first_block: u64) -> Option<Ve
     let mut covered = 0u64;
     for i in 0..count {
         let at = 12 + i * 16;
-        let offset = u64::from_le_bytes(payload[at..at + 8].try_into().unwrap());
-        let len = u32::from_le_bytes(payload[at + 8..at + 12].try_into().unwrap());
-        let valid_count = u32::from_le_bytes(payload[at + 12..at + 16].try_into().unwrap());
+        let offset = u64::from_le_bytes(payload[at..at + 8].try_into().expect("8-byte slice"));
+        let len = u32::from_le_bytes(payload[at + 8..at + 12].try_into().expect("4-byte slice"));
+        let valid_count =
+            u32::from_le_bytes(payload[at + 12..at + 16].try_into().expect("4-byte slice"));
         if offset != covered {
             return None;
         }
@@ -452,7 +459,9 @@ impl BlockStore for DurableBlockStore {
             let seg = self.segments.last_mut().expect("active segment");
             seg.entries.push(Entry {
                 offset: writer.file_len + writer.buffered.len() as u64,
+                // lint:allow(truncating-cast) record payloads are bounded by MAX_RECORD_LEN
                 len: payload.len() as u32,
+                // lint:allow(truncating-cast) tx count per block is far below u32::MAX
                 valid_count: cb.tx_filter.iter().filter(|c| c.is_valid()).count() as u32,
             });
             writer.buffered.extend_from_slice(&record);

@@ -66,9 +66,11 @@ fn encode(
     encode_tip(&mut out, cover_to);
     out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
     for (key, v) in entries {
-        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        let klen = u32::try_from(key.len()).expect("checkpoint key exceeds u32::MAX bytes");
+        out.extend_from_slice(&klen.to_le_bytes());
         out.extend_from_slice(key.as_bytes());
-        out.extend_from_slice(&(v.value.len() as u32).to_le_bytes());
+        let vlen = u32::try_from(v.value.len()).expect("checkpoint value exceeds u32::MAX bytes");
+        out.extend_from_slice(&vlen.to_le_bytes());
         out.extend_from_slice(&v.value);
         out.extend_from_slice(&v.version.block_num.to_le_bytes());
         out.extend_from_slice(&v.version.tx_num.to_le_bytes());
@@ -79,8 +81,16 @@ fn encode(
 fn decode_tip(rest: &mut &[u8]) -> Option<Option<Height>> {
     match frame::take(rest, 1)?[0] {
         1 => Some(Some(Height::new(
-            u64::from_le_bytes(frame::take(rest, 8)?.try_into().unwrap()),
-            u64::from_le_bytes(frame::take(rest, 8)?.try_into().unwrap()),
+            u64::from_le_bytes(
+                frame::take(rest, 8)?
+                    .try_into()
+                    .expect("take(8) returned 8 bytes"),
+            ),
+            u64::from_le_bytes(
+                frame::take(rest, 8)?
+                    .try_into()
+                    .expect("take(8) returned 8 bytes"),
+            ),
         ))),
         0 => Some(None),
         _ => None,
@@ -96,18 +106,38 @@ fn decode(payload: &[u8]) -> Option<Checkpoint> {
     if cover_to < tip {
         return None;
     }
-    let n = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
+    let n = u64::from_le_bytes(
+        take(&mut rest, 8)?
+            .try_into()
+            .expect("take(8) returned 8 bytes"),
+    );
     let mut entries = Vec::new();
     for _ in 0..n {
-        let klen = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+        let klen = u32::from_le_bytes(
+            take(&mut rest, 4)?
+                .try_into()
+                .expect("take(4) returned 4 bytes"),
+        ) as usize;
         let key = std::str::from_utf8(take(&mut rest, klen)?)
             .ok()?
             .to_string();
-        let vlen = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+        let vlen = u32::from_le_bytes(
+            take(&mut rest, 4)?
+                .try_into()
+                .expect("take(4) returned 4 bytes"),
+        ) as usize;
         let value = take(&mut rest, vlen)?.to_vec();
         let version = Height::new(
-            u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()),
-            u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap()),
+            u64::from_le_bytes(
+                take(&mut rest, 8)?
+                    .try_into()
+                    .expect("take(8) returned 8 bytes"),
+            ),
+            u64::from_le_bytes(
+                take(&mut rest, 8)?
+                    .try_into()
+                    .expect("take(8) returned 8 bytes"),
+            ),
         );
         entries.push((key, VersionedValue { value, version }));
     }

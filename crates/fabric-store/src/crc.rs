@@ -9,6 +9,7 @@ const TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
+        // lint:allow(truncating-cast) i < 256, widening usize -> u32
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -29,6 +30,7 @@ const TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
+        // lint:allow(truncating-cast) u8 -> u32 is a widening cast
         crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     crc ^ 0xFFFF_FFFF

@@ -47,6 +47,7 @@ pub(crate) fn take<'a>(bytes: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
 pub fn encode_record(payload: &[u8]) -> Vec<u8> {
     assert!(payload.len() <= MAX_RECORD_LEN, "record payload too large");
     let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    // lint:allow(truncating-cast) MAX_RECORD_LEN (asserted above) fits in u32
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
@@ -95,8 +96,8 @@ pub fn scan(bytes: &[u8]) -> Scan {
                 tail: Tail::Torn,
             };
         }
-        let len = u32::from_le_bytes(remaining[0..4].try_into().unwrap()) as usize;
-        let expected_crc = u32::from_le_bytes(remaining[4..8].try_into().unwrap());
+        let len = u32::from_le_bytes(remaining[0..4].try_into().expect("4-byte slice")) as usize;
+        let expected_crc = u32::from_le_bytes(remaining[4..8].try_into().expect("4-byte slice"));
         if len > MAX_RECORD_LEN {
             // An impossible length. The full 8-byte header is present
             // (checked above), and a torn write only ever removes a

@@ -38,14 +38,17 @@ pub fn encode_batch(batch: &WriteBatch, height: Height) -> Vec<u8> {
     let mut out = Vec::with_capacity(24 + 16 * batch.len());
     out.extend_from_slice(&height.block_num.to_le_bytes());
     out.extend_from_slice(&height.tx_num.to_le_bytes());
-    out.extend_from_slice(&(batch.len() as u32).to_le_bytes());
+    let n = u32::try_from(batch.len()).expect("journal batch exceeds u32::MAX entries");
+    out.extend_from_slice(&n.to_le_bytes());
     for (key, value) in batch.iter() {
-        out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+        let klen = u32::try_from(key.len()).expect("journal key exceeds u32::MAX bytes");
+        out.extend_from_slice(&klen.to_le_bytes());
         out.extend_from_slice(key.as_bytes());
         match value {
             Some(v) => {
                 out.push(1);
-                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                let vlen = u32::try_from(v.len()).expect("journal value exceeds u32::MAX bytes");
+                out.extend_from_slice(&vlen.to_le_bytes());
                 out.extend_from_slice(v);
             }
             None => out.push(0),
@@ -60,18 +63,38 @@ pub fn encode_batch(batch: &WriteBatch, height: Height) -> Vec<u8> {
 pub fn decode_batch(payload: &[u8]) -> Option<(Height, WriteBatch)> {
     let take = frame::take;
     let mut rest = payload;
-    let block = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
-    let tx = u64::from_le_bytes(take(&mut rest, 8)?.try_into().unwrap());
-    let n = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap());
+    let block = u64::from_le_bytes(
+        take(&mut rest, 8)?
+            .try_into()
+            .expect("take(8) returned 8 bytes"),
+    );
+    let tx = u64::from_le_bytes(
+        take(&mut rest, 8)?
+            .try_into()
+            .expect("take(8) returned 8 bytes"),
+    );
+    let n = u32::from_le_bytes(
+        take(&mut rest, 4)?
+            .try_into()
+            .expect("take(4) returned 4 bytes"),
+    );
     let mut batch = WriteBatch::new();
     for _ in 0..n {
-        let klen = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+        let klen = u32::from_le_bytes(
+            take(&mut rest, 4)?
+                .try_into()
+                .expect("take(4) returned 4 bytes"),
+        ) as usize;
         let key = std::str::from_utf8(take(&mut rest, klen)?)
             .ok()?
             .to_string();
         match take(&mut rest, 1)?[0] {
             1 => {
-                let vlen = u32::from_le_bytes(take(&mut rest, 4)?.try_into().unwrap()) as usize;
+                let vlen = u32::from_le_bytes(
+                    take(&mut rest, 4)?
+                        .try_into()
+                        .expect("take(4) returned 4 bytes"),
+                ) as usize;
                 batch.put(key, take(&mut rest, vlen)?.to_vec());
             }
             0 => {
@@ -186,11 +209,14 @@ impl StateJournal {
         Ok(StateJournal {
             path,
             group_commit,
-            inner: Mutex::new(JournalInner {
-                file,
-                buffered: Vec::new(),
-                pending: 0,
-            }),
+            inner: Mutex::named(
+                "store.journal",
+                JournalInner {
+                    file,
+                    buffered: Vec::new(),
+                    pending: 0,
+                },
+            ),
         })
     }
 

@@ -95,7 +95,7 @@ impl StreamScenario {
         let mut policies = HashMap::new();
         policies.insert(
             self.workload.chaincode().to_string(),
-            parse("2-outof-2 orgs").unwrap(),
+            parse("2-outof-2 orgs").expect("literal policy parses"),
         );
         policies
     }
@@ -104,10 +104,10 @@ impl StreamScenario {
     /// network, with the identities the blocks reference issued.
     pub fn validator_msp(&self) -> Msp {
         let mut msp = Msp::new(2);
-        msp.issue(0, Role::Peer, 0).unwrap();
-        msp.issue(1, Role::Peer, 0).unwrap();
-        msp.issue(0, Role::Orderer, 0).unwrap();
-        msp.issue(0, Role::Client, 0).unwrap();
+        msp.issue(0, Role::Peer, 0).expect("issue in fresh msp");
+        msp.issue(1, Role::Peer, 0).expect("issue in fresh msp");
+        msp.issue(0, Role::Orderer, 0).expect("issue in fresh msp");
+        msp.issue(0, Role::Client, 0).expect("issue in fresh msp");
         msp
     }
 
@@ -116,14 +116,17 @@ impl StreamScenario {
     /// serial oracle will accept as genuinely orderer-signed.
     pub fn orderer(&self) -> SigningIdentity {
         let mut msp = Msp::new(2);
-        msp.issue(0, Role::Orderer, 0).unwrap()
+        msp.issue(0, Role::Orderer, 0).expect("issue in fresh msp")
     }
 
     fn network(&self) -> FabricNetwork {
         let mut net = FabricNetworkBuilder::new()
             .orgs(2)
             .block_size(self.block_size)
-            .chaincode(self.workload.chaincode(), parse("2-outof-2 orgs").unwrap())
+            .chaincode(
+                self.workload.chaincode(),
+                parse("2-outof-2 orgs").expect("literal policy parses"),
+            )
             .build();
         match self.workload {
             Workload::Smallbank | Workload::SplitPayment(_) => {

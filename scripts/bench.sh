@@ -9,7 +9,8 @@ cargo run --release --bin bench_validation
 # The JSON must carry every tracked section; a refactor that silently
 # drops one would otherwise go unnoticed until the next perf review.
 for section in single_thread field_backend_ab scalar_backend_ab pipeline \
-               signature_cache block_stream durability statedb cluster admission; do
+               signature_cache block_stream durability statedb cluster admission \
+               lock_contention; do
   grep -q "\"$section\"" BENCH_validation.json \
     || { echo "error: BENCH_validation.json lost the $section section" >&2; exit 1; }
 done
@@ -29,6 +30,15 @@ for key in preload_keys preload_keys_per_s zipf_txs_per_s read_p50_us \
   grep -q "\"$key\"" BENCH_validation.json \
     || { echo "error: statedb section lost the $key metric" >&2; exit 1; }
 done
+
+# The lock_contention section must report real per-label accounting
+# from the fabric-check instrumentation, not an empty stub.
+for key in total_acquisitions contention_rate hold_mean_us; do
+  grep -q "\"$key\"" BENCH_validation.json \
+    || { echo "error: lock_contention section lost the $key metric" >&2; exit 1; }
+done
+grep -q '"statedb.shard"' BENCH_validation.json \
+  || { echo "error: lock_contention section lost the statedb.shard lock" >&2; exit 1; }
 
 echo
 echo "BENCH_validation.json:"
